@@ -1,0 +1,115 @@
+// Command apcc-pack builds and inspects deployable compressed-image
+// containers (the pack format).
+//
+// Usage:
+//
+//	apcc-pack -workload fft -o fft.apcc            # pack a suite workload
+//	apcc-pack -asm prog.s -codec lzss -o prog.apcc # pack assembled source
+//	apcc-pack -info fft.apcc                       # inspect a container
+//	apcc-pack -verify fft.apcc                     # unpack + validate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"apbcc/internal/compress"
+	"apbcc/internal/pack"
+	"apbcc/internal/program"
+	"apbcc/internal/report"
+	"apbcc/internal/workloads"
+)
+
+func main() {
+	var (
+		workload  = flag.String("workload", "", "suite workload to pack")
+		asmFile   = flag.String("asm", "", "ERI32 assembly file to pack")
+		codecName = flag.String("codec", "dict", "codec for the payloads")
+		out       = flag.String("o", "", "output container path")
+		info      = flag.String("info", "", "container to summarize")
+		verify    = flag.String("verify", "", "container to unpack and validate")
+	)
+	flag.Parse()
+
+	switch {
+	case *info != "":
+		p, codec, inf, err := load(*info)
+		if err != nil {
+			fatal(err)
+		}
+		tb := report.NewTable("container "+*info, "field", "value")
+		tb.AddRow("codec", codec.Name())
+		tb.AddRow("blocks", inf.Blocks)
+		tb.AddRow("plain image", report.KB(inf.PlainBytes))
+		tb.AddRow("compressed payloads", report.KB(inf.CompressedBytes))
+		tb.AddRow("payload ratio", report.Pct(float64(inf.CompressedBytes)/float64(inf.PlainBytes)))
+		tb.AddRow("container size", report.KB(inf.ContainerBytes))
+		tb.AddRow("entry block", p.Graph.Block(p.Graph.Entry()).String())
+		fmt.Print(tb)
+	case *verify != "":
+		p, _, _, err := load(*verify)
+		if err != nil {
+			fatal(err)
+		}
+		if err := p.Validate(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: OK (%d blocks, %d bytes of code)\n", *verify, p.Graph.NumBlocks(), p.TotalBytes())
+	default:
+		var p *program.Program
+		switch {
+		case *workload != "":
+			w, err := workloads.ByName(*workload)
+			if err != nil {
+				fatal(err)
+			}
+			p = w.Program
+		case *asmFile != "":
+			src, err := os.ReadFile(*asmFile)
+			if err != nil {
+				fatal(err)
+			}
+			p2, err := program.FromAssembly(*asmFile, string(src))
+			if err != nil {
+				fatal(err)
+			}
+			p = p2
+		default:
+			fatal(fmt.Errorf("one of -workload, -asm, -info, -verify is required"))
+		}
+		if *out == "" {
+			fatal(fmt.Errorf("-o is required when packing"))
+		}
+		code, err := p.CodeBytes()
+		if err != nil {
+			fatal(err)
+		}
+		codec, err := compress.New(*codecName, code)
+		if err != nil {
+			fatal(err)
+		}
+		data, err := pack.Pack(p, codec)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("packed %s: %d bytes of code -> %d-byte container (%s)\n",
+			p.Name, p.TotalBytes(), len(data), codec.Name())
+	}
+}
+
+func load(path string) (*program.Program, compress.Codec, *pack.Info, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return pack.Unpack(path, data)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "apcc-pack:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,92 @@
+// Command asmtool assembles and disassembles ERI32 programs.
+//
+// Usage:
+//
+//	asmtool -assemble prog.s            # words as hex, one per line
+//	asmtool -assemble prog.s -syms      # also dump the symbol table
+//	asmtool -disassemble image.hex      # hex words back to assembly
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"apbcc/internal/asm"
+	"apbcc/internal/isa"
+)
+
+func main() {
+	var (
+		assemble    = flag.String("assemble", "", "ERI32 assembly file to assemble")
+		disassemble = flag.String("disassemble", "", "hex word file to disassemble")
+		syms        = flag.Bool("syms", false, "print the symbol table after assembling")
+	)
+	flag.Parse()
+
+	switch {
+	case *assemble != "":
+		src, err := os.ReadFile(*assemble)
+		if err != nil {
+			fatal(err)
+		}
+		r, err := asm.Assemble(string(src))
+		if err != nil {
+			fatal(err)
+		}
+		for _, w := range r.Words {
+			fmt.Printf("%08x\n", w)
+		}
+		if *syms {
+			names := make([]string, 0, len(r.Symbols))
+			for name := range r.Symbols {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			fmt.Fprintln(os.Stderr, "symbols:")
+			for _, name := range names {
+				fmt.Fprintf(os.Stderr, "  %-20s %d\n", name, r.Symbols[name])
+			}
+		}
+	case *disassemble != "":
+		f, err := os.Open(*disassemble)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		var words []uint32
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" {
+				continue
+			}
+			w, err := strconv.ParseUint(line, 16, 32)
+			if err != nil {
+				fatal(fmt.Errorf("bad hex word %q: %v", line, err))
+			}
+			words = append(words, uint32(w))
+		}
+		if err := sc.Err(); err != nil {
+			fatal(err)
+		}
+		lines, err := isa.Disassemble(words)
+		if err != nil {
+			fatal(err)
+		}
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+	default:
+		fatal(fmt.Errorf("one of -assemble or -disassemble is required"))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "asmtool:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,30 @@
+// Package apbcc is a reproduction of "Access Pattern-Based Code
+// Compression for Memory-Constrained Embedded Systems" (Ozturk,
+// Saputra, Kandemir, Kolcu — DATE 2005): a runtime that keeps an
+// embedded program's basic blocks compressed in memory and uses the
+// control flow graph plus the observed block access pattern to decide
+// when to decompress blocks (on-demand or predictively, ahead of
+// execution) and when to discard decompressed copies (the k-edge
+// algorithm).
+//
+// The implementation lives under internal/:
+//
+//	isa        ERI32, a 32-bit RISC ISA (encoder/decoder/disassembler)
+//	asm        two-pass ERI32 assembler
+//	cfg        control flow graphs and analyses (dominators, loops, k-edge reach)
+//	program    programs = instructions + CFG + branch sites
+//	compress   block codecs (dict, lzss, huffman, rle, identity) + cost models
+//	mem        software-managed code memory (arena allocator, image, occupancy)
+//	trace      block access traces, profiles, predictors
+//	core       the paper's runtime: k-edge compression, pre-decompression,
+//	           remember sets, budget/LRU — the primary contribution
+//	sim        deterministic three-thread cycle simulator
+//	rt         goroutine-based concurrent runtime (race-clean)
+//	workloads  nine-kernel synthetic embedded benchmark suite
+//	bench      experiment harnesses (the tables in EXPERIMENTS.md)
+//	report     text tables / CSV
+//
+// Commands: cmd/apcc (single run), cmd/apcc-sweep (regenerate all
+// experiment tables), cmd/cfgdump, cmd/asmtool. Runnable examples are
+// under examples/. See README.md, DESIGN.md and EXPERIMENTS.md.
+package apbcc

@@ -1,0 +1,96 @@
+// Designspace sweeps the paper's two tuning dimensions on one workload
+// — the decompression strategy (Figure 3) and the compress-k parameter
+// (Section 3) — and draws the memory/performance tradeoff as ASCII
+// bars.
+//
+//	go run ./examples/designspace [workload]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"apbcc/internal/compress"
+	"apbcc/internal/core"
+	"apbcc/internal/report"
+	"apbcc/internal/sim"
+	"apbcc/internal/trace"
+	"apbcc/internal/workloads"
+)
+
+func main() {
+	name := "fft"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	w, err := workloads.ByName(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	code, err := w.Program.CodeBytes()
+	if err != nil {
+		log.Fatal(err)
+	}
+	codec, err := compress.New("dict", code)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := w.Trace()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type cell struct {
+		label    string
+		overhead float64
+		avgMem   float64
+	}
+	var cells []cell
+	run := func(label string, conf core.Config) {
+		conf.Codec = codec
+		m, err := core.NewManager(w.Program, conf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sim.Run(m, tr, sim.DefaultCosts())
+		if err != nil {
+			log.Fatal(err)
+		}
+		cells = append(cells, cell{label, res.Overhead(),
+			res.AvgResident / float64(res.UncompressedSize)})
+	}
+
+	for _, k := range []int{1, 2, 4, 8, 16} {
+		run(fmt.Sprintf("on-demand k=%d", k), core.Config{CompressK: k})
+	}
+	for _, k := range []int{2, 8} {
+		run(fmt.Sprintf("pre-all    k=%d", k), core.Config{
+			CompressK: k, Strategy: core.PreAll, DecompressK: 2,
+		})
+		run(fmt.Sprintf("pre-single k=%d", k), core.Config{
+			CompressK: k, Strategy: core.PreSingle, DecompressK: 2,
+			Predictor: trace.NewMarkov(w.Program.Graph),
+		})
+	}
+
+	maxOv, maxMem := 0.0, 0.0
+	for _, c := range cells {
+		if c.overhead > maxOv {
+			maxOv = c.overhead
+		}
+		if c.avgMem > maxMem {
+			maxMem = c.avgMem
+		}
+	}
+	fmt.Printf("design space on %s (%s)\n\n", w.Name, w.Desc)
+	fmt.Printf("%-16s %-28s %-28s\n", "configuration", "execution overhead", "avg resident (vs uncompressed)")
+	for _, c := range cells {
+		fmt.Printf("%-16s %6s %-21s %6s %-21s\n",
+			c.label,
+			report.Pct(c.overhead), report.Bar(c.overhead, maxOv, 20),
+			report.Pct(c.avgMem), report.Bar(c.avgMem, maxMem, 20))
+	}
+	fmt.Println("\nsmall k compresses aggressively (low memory, high overhead); large k")
+	fmt.Println("the reverse; pre-decompression buys speed with resident memory.")
+}

@@ -1,0 +1,93 @@
+// Quickstart: run an embedded workload under the access-pattern-based
+// code compression runtime and print the memory/performance outcome.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"apbcc/internal/compress"
+	"apbcc/internal/core"
+	"apbcc/internal/report"
+	"apbcc/internal/sim"
+	"apbcc/internal/workloads"
+)
+
+func main() {
+	// 1. Pick a workload from the embedded suite: a JPEG forward-DCT
+	// kernel — three sequential phase loops whose blocks go cold once
+	// their phase finishes, plus a cold re-initialization region.
+	w, err := workloads.ByName("jpegdct")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload %s: %s\n", w.Name, w.Desc)
+	fmt.Printf("program: %d blocks, %d bytes\n\n", w.Program.Graph.NumBlocks(), w.Program.TotalBytes())
+
+	// 2. Train a codec on the program image. The dictionary codec is
+	// the fast embedded default; try "lzss" for a better ratio at a
+	// higher decompression cost.
+	code, err := w.Program.CodeBytes()
+	if err != nil {
+		log.Fatal(err)
+	}
+	codec, err := compress.New("dict", code)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Configure the runtime: the k-edge compression algorithm with
+	// k=8 and lazy (on-demand) decompression — the
+	// maximum-memory-saving corner of the design space.
+	m, err := core.NewManager(w.Program, core.Config{
+		Codec:     codec,
+		CompressK: 8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Simulate the canonical trace (the kernel invoked repeatedly).
+	tr, err := w.Trace()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sim.Run(m, tr, sim.DefaultCosts())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. Report both sides of the tradeoff.
+	fmt.Printf("compressed area (minimum image): %s of uncompressed\n",
+		report.Pct(float64(res.CompressedSize)/float64(res.UncompressedSize)))
+	fmt.Printf("average resident memory:         %s (saving %s)\n",
+		report.Pct(res.AvgResident/float64(res.UncompressedSize)), report.Pct(res.AvgSaving()))
+	fmt.Printf("peak resident memory:            %s (saving %s)\n",
+		report.Pct(float64(res.PeakResident)/float64(res.UncompressedSize)), report.Pct(res.PeakSaving()))
+	fmt.Printf("execution overhead:              %s (hit rate %s)\n",
+		report.Pct(res.Overhead()), report.Pct(res.HitRate()))
+	fmt.Printf("exceptions %d, demand decompressions %d, prefetches %d, k-edge deletes %d\n",
+		res.Core.Exceptions, res.Core.DemandDecompresses, res.Core.Prefetches, res.Core.Deletes)
+
+	// Compare with pre-decompress-all at the same k: the decompression
+	// thread runs 2 edges ahead of execution and hides the latency, at
+	// the price of more resident memory.
+	m2, err := core.NewManager(w.Program, core.Config{
+		Codec:       codec,
+		CompressK:   8,
+		Strategy:    core.PreAll,
+		DecompressK: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res2, err := sim.Run(m2, tr, sim.DefaultCosts())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npre-decompress-all at the same k: overhead %s, average resident %s\n",
+		report.Pct(res2.Overhead()), report.Pct(res2.AvgResident/float64(res2.UncompressedSize)))
+	fmt.Println("on-demand favors memory; pre-decompression favors speed (the paper's Figure 3).")
+}

@@ -1,0 +1,75 @@
+// Realexec runs a real program — a bit-serial CRC-32 written in ERI32
+// assembly — on the interpreter while the compression runtime manages
+// its code memory, the full system of the paper: the block access
+// pattern comes from live execution, correctness is checked against a
+// bare-metal run, and the memory/performance tradeoff is reported for
+// several k values.
+//
+//	go run ./examples/realexec
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"apbcc/internal/compress"
+	"apbcc/internal/core"
+	"apbcc/internal/kernels"
+	"apbcc/internal/machine"
+	"apbcc/internal/report"
+)
+
+func main() {
+	k := kernels.CRC32()
+	p, err := k.Program()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("kernel %s: %s\n", k.Name, k.Desc)
+	fmt.Printf("program: %d blocks, %d bytes\n\n", p.Graph.NumBlocks(), p.TotalBytes())
+
+	// Reference: bare interpreter.
+	plain, err := machine.RunPlain(p, machine.Config{Init: k.Init})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := k.Check(plain); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bare run: crc=%#x in %d instructions\n\n", uint32(plain.OutInts[0]), plain.Steps)
+
+	code, err := p.CodeBytes()
+	if err != nil {
+		log.Fatal(err)
+	}
+	codec, err := compress.New("dict", code)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tb := report.NewTable("live execution under the compression runtime (on-demand, dict codec)",
+		"k", "crc", "avg-resident", "peak-resident", "overhead", "exceptions", "deletes")
+	for _, kc := range []int{1, 2, 8, 64} {
+		res, err := machine.Run(p, machine.Config{
+			Core: core.Config{Codec: codec, CompressK: kc},
+			Init: k.Init,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := k.Check(res); err != nil {
+			log.Fatalf("k=%d: %v", kc, err)
+		}
+		if res.Steps != plain.Steps {
+			log.Fatalf("k=%d: step count diverged", kc)
+		}
+		tb.AddRow(kc, fmt.Sprintf("%#x", uint32(res.OutInts[0])),
+			report.Pct(res.AvgResident/float64(res.UncompressedSize)),
+			report.Pct(float64(res.PeakResident)/float64(res.UncompressedSize)),
+			report.Pct(res.Overhead()), res.Core.Exceptions, res.Core.Deletes)
+	}
+	fmt.Print(tb)
+	fmt.Println("\nEvery run computes the identical CRC in the identical number of")
+	fmt.Println("instructions — the runtime is architecturally invisible; only the")
+	fmt.Println("memory footprint and the cycle count change with k.")
+}

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"apbcc/internal/core"
+	"apbcc/internal/workloads"
+)
+
+// steps keeps harness tests fast; shapes hold even at short lengths.
+const steps = 1500
+
+func TestRunCellDefaultsCodec(t *testing.T) {
+	w, err := workloads.ByName("crc32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunCell(w, core.Config{CompressK: 4}, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Core.Entries == 0 {
+		t.Error("no entries")
+	}
+}
+
+func TestHarnessesProduceFullTables(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func() (interface{ NumRows() int }, error)
+		rows int
+	}{
+		{"DesignSpace", func() (interface{ NumRows() int }, error) { return DesignSpace(4, 2, steps) }, 9 * 3},
+		{"MemoryVsK", func() (interface{ NumRows() int }, error) { return MemoryVsK([]int{1, 4}, steps) }, 9 * 2},
+		{"OverheadVsK", func() (interface{ NumRows() int }, error) { return OverheadVsK([]int{2}, 2, steps) }, 9},
+		{"Codecs", func() (interface{ NumRows() int }, error) { return Codecs(4, steps) }, 9 * 5},
+		{"Budget", func() (interface{ NumRows() int }, error) { return Budget(4, steps) }, 9 * 4},
+		{"Granularity", func() (interface{ NumRows() int }, error) { return Granularity(4, steps) }, 9 * 2},
+		{"Predictors", func() (interface{ NumRows() int }, error) { return Predictors(4, 2, steps) }, 9 * 3},
+		{"CounterSemantics", func() (interface{ NumRows() int }, error) { return CounterSemantics(4, 2, steps) }, 9 * 2},
+		{"Writeback", func() (interface{ NumRows() int }, error) { return Writeback(2, steps) }, 9 * 2},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			tb, err := c.run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := tb.NumRows(); got != c.rows {
+				t.Errorf("rows = %d, want %d", got, c.rows)
+			}
+		})
+	}
+}
+
+func TestDesignSpaceShape(t *testing.T) {
+	tb, err := DesignSpace(4, 2, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tb.String()
+	for _, frag := range []string{"on-demand", "pre-decompress-all", "pre-decompress-single", "crc32", "sha"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("table missing %q", frag)
+		}
+	}
+}

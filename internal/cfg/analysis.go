@@ -1,0 +1,190 @@
+package cfg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ReversePostorder returns the blocks reachable from the entry in
+// reverse postorder of a depth-first traversal — the canonical iteration
+// order for forward dataflow problems.
+func (g *Graph) ReversePostorder() []BlockID {
+	if g.entry == None {
+		return nil
+	}
+	visited := make([]bool, len(g.blocks))
+	post := make([]BlockID, 0, len(g.blocks))
+	var dfs func(BlockID)
+	dfs = func(id BlockID) {
+		visited[id] = true
+		for _, e := range g.succs[id] {
+			if !visited[e.To] {
+				dfs(e.To)
+			}
+		}
+		post = append(post, id)
+	}
+	dfs(g.entry)
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// Dominators computes the immediate dominator of every reachable block
+// using the Cooper–Harvey–Kennedy iterative algorithm. The entry block
+// dominates itself. Unreachable blocks map to None.
+func (g *Graph) Dominators() []BlockID {
+	idom := make([]BlockID, len(g.blocks))
+	for i := range idom {
+		idom[i] = None
+	}
+	if g.entry == None {
+		return idom
+	}
+	rpo := g.ReversePostorder()
+	order := make([]int, len(g.blocks)) // block -> rpo index
+	for i := range order {
+		order[i] = -1
+	}
+	for i, id := range rpo {
+		order[id] = i
+	}
+	idom[g.entry] = g.entry
+
+	intersect := func(a, b BlockID) BlockID {
+		for a != b {
+			for order[a] > order[b] {
+				a = idom[a]
+			}
+			for order[b] > order[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, id := range rpo {
+			if id == g.entry {
+				continue
+			}
+			var newIdom BlockID = None
+			for _, e := range g.preds[id] {
+				p := e.From
+				if order[p] < 0 || idom[p] == None {
+					continue // unreachable or not yet processed
+				}
+				if newIdom == None {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != None && idom[id] != newIdom {
+				idom[id] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// Dominates reports whether a dominates b, given the idom array from
+// Dominators.
+func Dominates(idom []BlockID, a, b BlockID) bool {
+	for {
+		if b == a {
+			return true
+		}
+		if b == None || idom[b] == None || idom[b] == b {
+			return b == a
+		}
+		b = idom[b]
+	}
+}
+
+// Loop is a natural loop: the header plus the body blocks of a back
+// edge whose target dominates its source.
+type Loop struct {
+	Header BlockID
+	// Body contains every block in the loop, including the header,
+	// sorted by ID.
+	Body []BlockID
+	// BackEdges are the latch->header edges that define the loop.
+	BackEdges []Edge
+}
+
+// Contains reports whether the loop body includes the block.
+func (l *Loop) Contains(id BlockID) bool {
+	i := sort.Search(len(l.Body), func(i int) bool { return l.Body[i] >= id })
+	return i < len(l.Body) && l.Body[i] == id
+}
+
+// NaturalLoops detects the natural loops of the graph. Loops sharing a
+// header are merged, following standard practice. The result is sorted
+// by header ID.
+func (g *Graph) NaturalLoops() []Loop {
+	idom := g.Dominators()
+	bodies := make(map[BlockID]map[BlockID]bool)
+	backs := make(map[BlockID][]Edge)
+	for id := range g.succs {
+		for _, e := range g.succs[id] {
+			if idom[e.From] == None {
+				continue // unreachable
+			}
+			if Dominates(idom, e.To, e.From) {
+				header := e.To
+				body := bodies[header]
+				if body == nil {
+					body = map[BlockID]bool{header: true}
+					bodies[header] = body
+				}
+				backs[header] = append(backs[header], e)
+				// Walk predecessors from the latch back to the header.
+				stack := []BlockID{e.From}
+				for len(stack) > 0 {
+					n := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					if body[n] {
+						continue
+					}
+					body[n] = true
+					for _, pe := range g.preds[n] {
+						stack = append(stack, pe.From)
+					}
+				}
+			}
+		}
+	}
+	loops := make([]Loop, 0, len(bodies))
+	for header, body := range bodies {
+		l := Loop{Header: header, BackEdges: backs[header]}
+		for id := range body {
+			l.Body = append(l.Body, id)
+		}
+		sort.Slice(l.Body, func(i, j int) bool { return l.Body[i] < l.Body[j] })
+		loops = append(loops, l)
+	}
+	sort.Slice(loops, func(i, j int) bool { return loops[i].Header < loops[j].Header })
+	return loops
+}
+
+// LoopDepths returns, for every block, how many natural loops contain
+// it. Depth 0 means straight-line code; hot inner-loop blocks have the
+// highest depths.
+func (g *Graph) LoopDepths() []int {
+	depth := make([]int, len(g.blocks))
+	for _, l := range g.NaturalLoops() {
+		for _, id := range l.Body {
+			depth[id]++
+		}
+	}
+	return depth
+}
+
+// String summarizes the graph for diagnostics.
+func (g *Graph) String() string {
+	return fmt.Sprintf("cfg{blocks=%d words=%d entry=%v}", len(g.blocks), g.TotalWords(), g.entry)
+}

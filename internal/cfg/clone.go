@@ -1,0 +1,23 @@
+package cfg
+
+// Clone returns a deep copy of the graph: blocks, edges, probabilities
+// and the entry designation. Mutating the clone (e.g. relocating block
+// word ranges during program synthesis) leaves the original untouched.
+func (g *Graph) Clone() *Graph {
+	out := New()
+	out.entry = g.entry
+	out.blocks = make([]*Block, len(g.blocks))
+	for i, b := range g.blocks {
+		nb := *b
+		out.blocks[i] = &nb
+	}
+	out.succs = make([][]Edge, len(g.succs))
+	for i, edges := range g.succs {
+		out.succs[i] = append([]Edge(nil), edges...)
+	}
+	out.preds = make([][]Edge, len(g.preds))
+	for i, edges := range g.preds {
+		out.preds[i] = append([]Edge(nil), edges...)
+	}
+	return out
+}

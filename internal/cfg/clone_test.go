@@ -1,0 +1,36 @@
+package cfg
+
+import "testing"
+
+func TestCloneDeepIsolation(t *testing.T) {
+	g := Figure2()
+	c := g.Clone()
+	if c.NumBlocks() != g.NumBlocks() || c.Entry() != g.Entry() {
+		t.Fatal("clone shape differs")
+	}
+	// Mutating the clone's blocks and edges must not touch the source.
+	c.Block(0).Start = 999
+	c.Block(0).Label = "mutated"
+	c.Succs(0)[0].Prob = 0.123
+	if g.Block(0).Start == 999 || g.Block(0).Label == "mutated" {
+		t.Error("block mutation leaked into source")
+	}
+	if g.Succs(0)[0].Prob == 0.123 {
+		t.Error("edge mutation leaked into source")
+	}
+	// Adding to the clone must not grow the source.
+	c.AddBlock("new", 3)
+	if g.NumBlocks() == c.NumBlocks() {
+		t.Error("AddBlock on clone affected source size")
+	}
+	if err := g.Validate(true); err != nil {
+		t.Errorf("source invalidated by clone mutations: %v", err)
+	}
+}
+
+func TestCloneOfEmptyGraph(t *testing.T) {
+	c := New().Clone()
+	if c.Entry() != None || c.NumBlocks() != 0 {
+		t.Error("empty clone not empty")
+	}
+}

@@ -1,0 +1,44 @@
+package cfg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz dot syntax. Blocks show their label
+// and size; edges show kind and probability. The entry block is drawn
+// with a double border.
+func (g *Graph) DOT(name string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", name)
+	sb.WriteString("  node [shape=box fontname=\"monospace\"];\n")
+	for _, b := range g.blocks {
+		shape := ""
+		if b.ID == g.entry {
+			shape = " peripheries=2"
+		}
+		fmt.Fprintf(&sb, "  n%d [label=\"%s\\n%dw\"%s];\n", b.ID, b, b.Words(), shape)
+	}
+	for id := range g.succs {
+		for _, e := range g.succs[id] {
+			attr := ""
+			switch e.Kind {
+			case EdgeTaken:
+				attr = " color=blue"
+			case EdgeJump:
+				attr = " color=black"
+			case EdgeCall:
+				attr = " color=green style=dashed"
+			case EdgeReturn:
+				attr = " color=gray style=dotted"
+			}
+			label := e.Kind.String()
+			if e.Prob > 0 {
+				label = fmt.Sprintf("%s %.2f", e.Kind, e.Prob)
+			}
+			fmt.Fprintf(&sb, "  n%d -> n%d [label=%q%s];\n", e.From, e.To, label, attr)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,95 @@
+package cfg
+
+// This file constructs the three concrete CFG fragments drawn in the
+// DATE'05 paper. They are fixtures shared by golden tests, examples and
+// benchmarks. Block sizes (in words) are not specified by the paper;
+// the values here are representative basic-block sizes and are part of
+// the reproduction's fixed configuration.
+
+// Figure1 builds the six-block, two-loop CFG of the paper's Figure 1.
+//
+// Shape: B0 branches to B1 (the "left branch" of the worked example) or
+// B2; both meet at B3; B3 either enters B4 (edge "b"; B4 loops back to
+// B3) or exits through B5, which loops back to B0. Edge "a" is B1→B3.
+// The worked example: after visiting B1 and traversing a then b, the
+// 2-edge algorithm compresses B1 just before execution enters B4.
+func Figure1() *Graph {
+	g := New()
+	b0 := g.AddBlock("B0", 6)
+	b1 := g.AddBlock("B1", 8)
+	b2 := g.AddBlock("B2", 10)
+	b3 := g.AddBlock("B3", 5)
+	b4 := g.AddBlock("B4", 12)
+	b5 := g.AddBlock("B5", 4)
+	g.MustAddEdge(b0, b1, EdgeTaken, 0.5)
+	g.MustAddEdge(b0, b2, EdgeFallthrough, 0.5)
+	g.MustAddEdge(b1, b3, EdgeJump, 1) // edge "a"
+	g.MustAddEdge(b2, b3, EdgeJump, 1)
+	g.MustAddEdge(b3, b4, EdgeFallthrough, 0.7) // edge "b"
+	g.MustAddEdge(b3, b5, EdgeTaken, 0.3)
+	g.MustAddEdge(b4, b3, EdgeJump, 1)    // inner loop {B3,B4}
+	g.MustAddEdge(b5, b0, EdgeTaken, 0.8) // outer loop {B0..B5}
+	g.Normalize()
+	return g
+}
+
+// Figure2 builds the ten-block CFG of the paper's Figure 2 (reused in
+// Figure 4). The reproduction fixes an edge set consistent with both
+// worked examples in Section 4:
+//
+//   - with k=3, block B7 is exactly 3 edges ahead of the exit of B1
+//     (B1→B0, B0→B3, B3→B7), so pre-decompression of B7 starts when the
+//     execution thread exits B1;
+//   - with k=2 and execution just past B0, the blocks at most 2 edges
+//     ahead of B0 include B4, B5, B8 and B9 (the compressed set of the
+//     pre-decompress-all example).
+func Figure2() *Graph {
+	g := New()
+	b0 := g.AddBlock("B0", 6)
+	b1 := g.AddBlock("B1", 7)
+	b2 := g.AddBlock("B2", 7)
+	b3 := g.AddBlock("B3", 5)
+	b4 := g.AddBlock("B4", 5)
+	b5 := g.AddBlock("B5", 9)
+	b6 := g.AddBlock("B6", 6)
+	b7 := g.AddBlock("B7", 11)
+	b8 := g.AddBlock("B8", 8)
+	b9 := g.AddBlock("B9", 10)
+	if err := g.SetEntry(b1); err != nil {
+		panic(err)
+	}
+	g.MustAddEdge(b1, b0, EdgeJump, 1)
+	g.MustAddEdge(b2, b0, EdgeJump, 1)
+	g.MustAddEdge(b0, b3, EdgeFallthrough, 0.6)
+	g.MustAddEdge(b0, b4, EdgeTaken, 0.4)
+	g.MustAddEdge(b3, b5, EdgeFallthrough, 0.5)
+	g.MustAddEdge(b3, b7, EdgeTaken, 0.5)
+	g.MustAddEdge(b4, b8, EdgeFallthrough, 0.5)
+	g.MustAddEdge(b4, b9, EdgeTaken, 0.5)
+	g.MustAddEdge(b5, b6, EdgeFallthrough, 1)
+	g.MustAddEdge(b7, b6, EdgeJump, 1)
+	g.MustAddEdge(b8, b6, EdgeJump, 1)
+	g.MustAddEdge(b9, b2, EdgeJump, 1)
+	g.MustAddEdge(b6, b1, EdgeTaken, 0.5)
+	g.MustAddEdge(b6, b9, EdgeFallthrough, 0.5)
+	g.Normalize()
+	return g
+}
+
+// Figure5 builds the four-block CFG of the paper's Figure 5, whose
+// worked execution follows the basic-block access pattern
+// B0, B1, B0, B1, B3 under on-demand decompression with k=2.
+func Figure5() *Graph {
+	g := New()
+	b0 := g.AddBlock("B0", 8)
+	b1 := g.AddBlock("B1", 6)
+	b2 := g.AddBlock("B2", 9)
+	b3 := g.AddBlock("B3", 7)
+	g.MustAddEdge(b0, b1, EdgeTaken, 0.6)
+	g.MustAddEdge(b0, b2, EdgeFallthrough, 0.4)
+	g.MustAddEdge(b1, b0, EdgeTaken, 0.5)
+	g.MustAddEdge(b1, b3, EdgeFallthrough, 0.5)
+	g.MustAddEdge(b2, b3, EdgeJump, 1)
+	g.Normalize()
+	return g
+}

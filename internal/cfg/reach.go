@@ -1,0 +1,138 @@
+package cfg
+
+import "sort"
+
+// DistancesFrom returns, for every block, the minimum number of edges
+// that must be traversed to reach it from the given block. The source
+// itself has distance 0 unless it is only reachable around a cycle, in
+// which case re-reaching it counts its cycle length — callers that need
+// "edges ahead of the exit of b" should use WithinK, which measures
+// successor distances. Unreachable blocks get -1.
+func (g *Graph) DistancesFrom(from BlockID) []int {
+	dist := make([]int, len(g.blocks))
+	for i := range dist {
+		dist[i] = -1
+	}
+	if !g.valid(from) {
+		return dist
+	}
+	dist[from] = 0
+	queue := []BlockID{from}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range g.succs[cur] {
+			if dist[e.To] < 0 {
+				dist[e.To] = dist[cur] + 1
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return dist
+}
+
+// WithinK returns the blocks that are at most k edges ahead of the exit
+// of block from — the candidate set of the paper's k-edge
+// pre-decompression (Section 4): "a basic block is decompressed when
+// there are at most k edges that need to be traversed before it could be
+// reached". The source block itself is included only if a cycle of
+// length ≤ k returns to it. The result is sorted by distance, then ID.
+func (g *Graph) WithinK(from BlockID, k int) []BlockID {
+	if !g.valid(from) || k <= 0 {
+		return nil
+	}
+	type item struct {
+		id   BlockID
+		dist int
+	}
+	dist := make(map[BlockID]int, 8)
+	var out []item
+	frontier := []BlockID{from}
+	for d := 1; d <= k && len(frontier) > 0; d++ {
+		var next []BlockID
+		for _, cur := range frontier {
+			for _, e := range g.succs[cur] {
+				if _, seen := dist[e.To]; seen {
+					continue
+				}
+				dist[e.To] = d
+				out = append(out, item{e.To, d})
+				next = append(next, e.To)
+			}
+		}
+		frontier = next
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].dist != out[j].dist {
+			return out[i].dist < out[j].dist
+		}
+		return out[i].id < out[j].id
+	})
+	ids := make([]BlockID, len(out))
+	for i, it := range out {
+		ids[i] = it.id
+	}
+	return ids
+}
+
+// ReachProb holds the probability of reaching a block along its most
+// likely path within a bounded number of edges.
+type ReachProb struct {
+	ID   BlockID
+	Dist int     // edges along the most probable path
+	Prob float64 // product of edge probabilities along that path
+}
+
+// MaxProbWithin computes, for every block reachable in at most k edges
+// from the exit of block from, the maximum path-probability of reaching
+// it (product of annotated edge probabilities along the best path of
+// length ≤ k). This drives the pre-decompress-single strategy: the
+// predictor picks the compressed block with the highest reach
+// probability. Results are sorted by descending probability, ties by
+// ascending distance then ID. Call Normalize first for meaningful
+// probabilities.
+func (g *Graph) MaxProbWithin(from BlockID, k int) []ReachProb {
+	if !g.valid(from) || k <= 0 {
+		return nil
+	}
+	best := make(map[BlockID]ReachProb)
+	// frontier holds the best-known probability of standing at the exit
+	// of each block after d edges.
+	type state struct {
+		id   BlockID
+		prob float64
+	}
+	frontier := map[BlockID]float64{from: 1}
+	for d := 1; d <= k && len(frontier) > 0; d++ {
+		next := make(map[BlockID]float64)
+		for id, p := range frontier {
+			for _, e := range g.succs[id] {
+				np := p * e.Prob
+				if np <= 0 {
+					continue
+				}
+				if np > next[e.To] {
+					next[e.To] = np
+				}
+				if cur, ok := best[e.To]; !ok || np > cur.Prob {
+					best[e.To] = ReachProb{ID: e.To, Dist: d, Prob: np}
+				}
+			}
+		}
+		frontier = next
+	}
+	out := make([]ReachProb, 0, len(best))
+	for _, rp := range best {
+		out = append(out, rp)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Prob != out[j].Prob {
+			return out[i].Prob > out[j].Prob
+		}
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}

@@ -1,0 +1,162 @@
+// Package compress provides the block codecs used by the
+// access-pattern-based code compression runtime, together with the cycle
+// cost models that the simulator charges for compression and
+// decompression work.
+//
+// The paper treats the codec as a pluggable component (its contribution
+// is *when* to compress/decompress, not *how*), so this package supplies
+// a spectrum: a fast instruction-dictionary codec in the style of IBM
+// CodePack and the selective-compression literature the paper cites, an
+// LZSS codec, a shared-model canonical Huffman codec, byte RLE, and the
+// identity codec used as the uncompressed baseline.
+//
+// All codecs are deterministic and self-contained: Decompress(Compress(b))
+// == b with no out-of-band state beyond the codec value itself (trained
+// codecs embed their model).
+package compress
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// CostModel describes the cycle cost of running a codec on one block, as
+// charged by the simulator: a fixed setup cost plus a per-byte cost, for
+// each direction. Per-byte costs are applied to the *uncompressed* size,
+// which is the number of bytes the (de)compressor must produce/consume
+// on the critical path.
+type CostModel struct {
+	CompressFixed     int
+	CompressPerByte   int
+	DecompressFixed   int
+	DecompressPerByte int
+}
+
+// CompressCycles returns the cycles to compress a block of n
+// uncompressed bytes.
+func (m CostModel) CompressCycles(n int) int64 {
+	return int64(m.CompressFixed) + int64(m.CompressPerByte)*int64(n)
+}
+
+// DecompressCycles returns the cycles to decompress a block back to n
+// uncompressed bytes.
+func (m CostModel) DecompressCycles(n int) int64 {
+	return int64(m.DecompressFixed) + int64(m.DecompressPerByte)*int64(n)
+}
+
+// Codec compresses and decompresses basic-block byte images.
+type Codec interface {
+	// Name identifies the codec (registry key).
+	Name() string
+	// Compress returns the compressed form of src. Codecs may return a
+	// form longer than src for incompressible input; callers that care
+	// should compare sizes.
+	Compress(src []byte) ([]byte, error)
+	// Decompress inverts Compress.
+	Decompress(src []byte) ([]byte, error)
+	// Cost returns the codec's cycle cost model.
+	Cost() CostModel
+}
+
+// ErrCorrupt reports malformed compressed input.
+var ErrCorrupt = errors.New("compress: corrupt input")
+
+// Factory builds a codec, optionally training it on a representative
+// byte image (the whole program's code, typically). Codecs that need no
+// training ignore the argument.
+type Factory func(train []byte) (Codec, error)
+
+var registry = map[string]Factory{}
+
+// Register installs a codec factory under a name. It panics on
+// duplicates, mirroring database/sql conventions.
+func Register(name string, f Factory) {
+	if _, dup := registry[name]; dup {
+		panic("compress: Register called twice for " + name)
+	}
+	registry[name] = f
+}
+
+// New builds a registered codec by name, training it on train.
+func New(name string, train []byte) (Codec, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("compress: unknown codec %q (have %v)", name, Names())
+	}
+	return f(train)
+}
+
+// Names lists the registered codec names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Ratio returns compressedSize/originalSize; 1 means no saving. A zero
+// original size yields 1.
+func Ratio(original, compressed int) float64 {
+	if original == 0 {
+		return 1
+	}
+	return float64(compressed) / float64(original)
+}
+
+// BlockStats aggregates compression results over a set of blocks.
+type BlockStats struct {
+	Blocks               int
+	OriginalBytes        int
+	CompressedBytes      int
+	IncompressibleBlocks int // blocks whose compressed form was not smaller
+}
+
+// Ratio returns the aggregate compression ratio.
+func (s BlockStats) Ratio() float64 { return Ratio(s.OriginalBytes, s.CompressedBytes) }
+
+// Measure compresses every block with the codec and aggregates sizes.
+func Measure(c Codec, blocks [][]byte) (BlockStats, error) {
+	var s BlockStats
+	for i, b := range blocks {
+		comp, err := c.Compress(b)
+		if err != nil {
+			return s, fmt.Errorf("compress: block %d: %w", i, err)
+		}
+		s.Blocks++
+		s.OriginalBytes += len(b)
+		s.CompressedBytes += len(comp)
+		if len(comp) >= len(b) {
+			s.IncompressibleBlocks++
+		}
+	}
+	return s, nil
+}
+
+// identity is the no-op codec: the uncompressed baseline.
+type identity struct{}
+
+// NewIdentity returns the identity codec (zero cost, ratio 1).
+func NewIdentity() Codec { return identity{} }
+
+func (identity) Name() string { return "identity" }
+
+func (identity) Compress(src []byte) ([]byte, error) {
+	out := make([]byte, len(src))
+	copy(out, src)
+	return out, nil
+}
+
+func (identity) Decompress(src []byte) ([]byte, error) {
+	out := make([]byte, len(src))
+	copy(out, src)
+	return out, nil
+}
+
+func (identity) Cost() CostModel { return CostModel{} }
+
+func init() {
+	Register("identity", func([]byte) (Codec, error) { return NewIdentity(), nil })
+}

@@ -1,0 +1,151 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"apbcc/internal/isa"
+)
+
+// dict is the instruction-dictionary codec: the classic embedded code
+// compression scheme (IBM CodePack, Lefurgy et al.) where the most
+// frequent 32-bit instruction words of the program are collected into a
+// dictionary held by the decompressor, and the code stream stores 1-byte
+// dictionary indices for hits and raw words for misses.
+//
+// Wire format per block: uvarint original byte length, then groups of up
+// to 8 words, each group led by a tag byte (bit i set = word i is a
+// dictionary index). A non-word-multiple tail is stored raw after the
+// groups. Decode is a table lookup per word, which is why this codec has
+// the lowest decompression cost in the suite.
+type dict struct {
+	words []uint32          // dictionary, index -> word
+	index map[uint32]uint16 // word -> index
+}
+
+// DictSize is the dictionary capacity: one byte of index space.
+const DictSize = 256
+
+// NewDict trains the dictionary codec on a program image: the up-to-256
+// most frequent instruction words become the dictionary, ordered by
+// descending frequency (ties by ascending word value, for determinism).
+func NewDict(train []byte) Codec {
+	freq := make(map[uint32]int)
+	for i := 0; i+isa.WordSize <= len(train); i += isa.WordSize {
+		freq[isa.ByteOrder.Uint32(train[i:])]++
+	}
+	type wc struct {
+		w uint32
+		c int
+	}
+	all := make([]wc, 0, len(freq))
+	for w, c := range freq {
+		if c >= 2 { // singletons cost more as indices than they save
+			all = append(all, wc{w, c})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].c != all[j].c {
+			return all[i].c > all[j].c
+		}
+		return all[i].w < all[j].w
+	})
+	if len(all) > DictSize {
+		all = all[:DictSize]
+	}
+	d := &dict{index: make(map[uint32]uint16, len(all))}
+	for i, e := range all {
+		d.words = append(d.words, e.w)
+		d.index[e.w] = uint16(i)
+	}
+	return d
+}
+
+// DictEntries reports the trained dictionary size; it is exported for
+// diagnostics via a type assertion in tools.
+func (d *dict) DictEntries() int { return len(d.words) }
+
+func (d *dict) Name() string { return "dict" }
+
+func (d *dict) Cost() CostModel {
+	return CostModel{
+		CompressFixed: 24, CompressPerByte: 3,
+		DecompressFixed: 12, DecompressPerByte: 1,
+	}
+}
+
+func (d *dict) Compress(src []byte) ([]byte, error) {
+	out := binary.AppendUvarint(nil, uint64(len(src)))
+	nWords := len(src) / isa.WordSize
+	for g := 0; g < nWords; g += 8 {
+		end := g + 8
+		if end > nWords {
+			end = nWords
+		}
+		tagPos := len(out)
+		out = append(out, 0)
+		for i := g; i < end; i++ {
+			w := isa.ByteOrder.Uint32(src[i*isa.WordSize:])
+			if idx, ok := d.index[w]; ok {
+				out[tagPos] |= 1 << uint(i-g)
+				out = append(out, byte(idx))
+			} else {
+				out = append(out, src[i*isa.WordSize:(i+1)*isa.WordSize]...)
+			}
+		}
+	}
+	out = append(out, src[nWords*isa.WordSize:]...) // raw tail, if any
+	return out, nil
+}
+
+func (d *dict) Decompress(src []byte) ([]byte, error) {
+	n, hdr := binary.Uvarint(src)
+	if hdr <= 0 {
+		return nil, fmt.Errorf("%w: bad dict length header", ErrCorrupt)
+	}
+	src = src[hdr:]
+	out := make([]byte, 0, n)
+	nWords := int(n) / isa.WordSize
+	pos := 0
+	for g := 0; g < nWords; g += 8 {
+		end := g + 8
+		if end > nWords {
+			end = nWords
+		}
+		if pos >= len(src) {
+			return nil, fmt.Errorf("%w: dict stream truncated at group %d", ErrCorrupt, g)
+		}
+		tag := src[pos]
+		pos++
+		for i := g; i < end; i++ {
+			if tag&(1<<uint(i-g)) != 0 {
+				if pos >= len(src) {
+					return nil, fmt.Errorf("%w: dict index truncated", ErrCorrupt)
+				}
+				idx := int(src[pos])
+				pos++
+				if idx >= len(d.words) {
+					return nil, fmt.Errorf("%w: dict index %d beyond %d entries", ErrCorrupt, idx, len(d.words))
+				}
+				out = isa.ByteOrder.AppendUint32(out, d.words[idx])
+			} else {
+				if pos+isa.WordSize > len(src) {
+					return nil, fmt.Errorf("%w: dict raw word truncated", ErrCorrupt)
+				}
+				out = append(out, src[pos:pos+isa.WordSize]...)
+				pos += isa.WordSize
+			}
+		}
+	}
+	tail := int(n) - nWords*isa.WordSize
+	if pos+tail > len(src) {
+		return nil, fmt.Errorf("%w: dict tail truncated", ErrCorrupt)
+	}
+	out = append(out, src[pos:pos+tail]...)
+	return out, nil
+}
+
+func init() {
+	Register("dict", func(train []byte) (Codec, error) { return NewDict(train), nil })
+}

@@ -1,0 +1,210 @@
+package compress
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+)
+
+// huffman is a shared-model canonical Huffman codec. The model (one
+// code per byte value) is trained once on the whole program image, so
+// per-block compressed output carries no table — the arrangement used by
+// hardware-assisted schemes like CodePack, where the decode table lives
+// with the decompressor. Per-block output is a uvarint original-length
+// header followed by the MSB-first bitstream.
+type huffman struct {
+	lengths [256]uint8  // code length per symbol
+	codes   [256]uint32 // canonical code per symbol
+	// decode tables per length: firstCode[l] is the smallest code of
+	// length l, index[l] the index of its symbol in symbols.
+	firstCode [maxCodeLen + 1]uint32
+	firstIdx  [maxCodeLen + 1]int
+	counts    [maxCodeLen + 1]int
+	symbols   []byte // symbols sorted by (length, value)
+}
+
+// maxCodeLen bounds code lengths so decode tables stay small; the
+// trainer rescales frequencies until the bound holds.
+const maxCodeLen = 16
+
+// NewHuffman builds a Huffman codec whose model is trained on the given
+// byte image. Every byte value receives a nonzero frequency (add-one
+// smoothing) so any input can be encoded.
+func NewHuffman(train []byte) Codec {
+	var freq [256]uint64
+	for i := range freq {
+		freq[i] = 1
+	}
+	for _, b := range train {
+		freq[b]++
+	}
+	h := &huffman{}
+	for {
+		lengths := buildCodeLengths(freq[:])
+		maxLen := uint8(0)
+		for _, l := range lengths {
+			if l > maxLen {
+				maxLen = l
+			}
+		}
+		if maxLen <= maxCodeLen {
+			copy(h.lengths[:], lengths)
+			break
+		}
+		// Flatten the distribution and retry until the depth bound holds.
+		for i := range freq {
+			freq[i] = freq[i]/2 + 1
+		}
+	}
+	h.buildCanonical()
+	return h
+}
+
+type huffNode struct {
+	weight      uint64
+	symbol      int // -1 for internal
+	left, right *huffNode
+	order       int // tie-break for determinism
+}
+
+type huffHeap []*huffNode
+
+func (h huffHeap) Len() int { return len(h) }
+func (h huffHeap) Less(i, j int) bool {
+	if h[i].weight != h[j].weight {
+		return h[i].weight < h[j].weight
+	}
+	return h[i].order < h[j].order
+}
+func (h huffHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *huffHeap) Push(x any)   { *h = append(*h, x.(*huffNode)) }
+func (h *huffHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// buildCodeLengths runs the classic Huffman algorithm and returns the
+// code length of every symbol.
+func buildCodeLengths(freq []uint64) []uint8 {
+	h := make(huffHeap, 0, len(freq))
+	order := 0
+	for sym, f := range freq {
+		h = append(h, &huffNode{weight: f, symbol: sym, order: order})
+		order++
+	}
+	heap.Init(&h)
+	for h.Len() > 1 {
+		a := heap.Pop(&h).(*huffNode)
+		b := heap.Pop(&h).(*huffNode)
+		heap.Push(&h, &huffNode{weight: a.weight + b.weight, symbol: -1, left: a, right: b, order: order})
+		order++
+	}
+	lengths := make([]uint8, len(freq))
+	var walk func(n *huffNode, depth uint8)
+	walk = func(n *huffNode, depth uint8) {
+		if n.symbol >= 0 {
+			if depth == 0 {
+				depth = 1 // degenerate single-symbol tree
+			}
+			lengths[n.symbol] = depth
+			return
+		}
+		walk(n.left, depth+1)
+		walk(n.right, depth+1)
+	}
+	walk(h[0], 0)
+	return lengths
+}
+
+// buildCanonical derives canonical codes and decode tables from lengths.
+func (h *huffman) buildCanonical() {
+	for _, l := range h.lengths {
+		h.counts[l]++
+	}
+	h.counts[0] = 0
+	code := uint32(0)
+	for l := 1; l <= maxCodeLen; l++ {
+		code = (code + uint32(h.counts[l-1])) << 1
+		h.firstCode[l] = code
+	}
+	// Assign codes in (length, symbol) order.
+	next := h.firstCode
+	h.symbols = h.symbols[:0]
+	idx := 0
+	for l := 1; l <= maxCodeLen; l++ {
+		h.firstIdx[l] = idx
+		for sym := 0; sym < 256; sym++ {
+			if int(h.lengths[sym]) == l {
+				h.codes[sym] = next[l]
+				next[l]++
+				h.symbols = append(h.symbols, byte(sym))
+				idx++
+			}
+		}
+	}
+}
+
+func (h *huffman) Name() string { return "huffman" }
+
+func (h *huffman) Cost() CostModel {
+	return CostModel{
+		CompressFixed: 48, CompressPerByte: 10,
+		DecompressFixed: 32, DecompressPerByte: 8,
+	}
+}
+
+func (h *huffman) Compress(src []byte) ([]byte, error) {
+	out := binary.AppendUvarint(nil, uint64(len(src)))
+	var acc uint64
+	var nbits uint
+	for _, b := range src {
+		acc = acc<<h.lengths[b] | uint64(h.codes[b])
+		nbits += uint(h.lengths[b])
+		for nbits >= 8 {
+			nbits -= 8
+			out = append(out, byte(acc>>nbits))
+		}
+	}
+	if nbits > 0 {
+		out = append(out, byte(acc<<(8-nbits)))
+	}
+	return out, nil
+}
+
+func (h *huffman) Decompress(src []byte) ([]byte, error) {
+	n, hdr := binary.Uvarint(src)
+	if hdr <= 0 {
+		return nil, fmt.Errorf("%w: bad huffman length header", ErrCorrupt)
+	}
+	src = src[hdr:]
+	out := make([]byte, 0, n)
+	var code uint32
+	var length int
+	bitPos := 0
+	for uint64(len(out)) < n {
+		if bitPos >= len(src)*8 {
+			return nil, fmt.Errorf("%w: huffman stream exhausted at %d/%d bytes", ErrCorrupt, len(out), n)
+		}
+		bit := src[bitPos/8] >> (7 - uint(bitPos%8)) & 1
+		bitPos++
+		code = code<<1 | uint32(bit)
+		length++
+		if length > maxCodeLen {
+			return nil, fmt.Errorf("%w: huffman code overlong", ErrCorrupt)
+		}
+		if h.counts[length] > 0 && code >= h.firstCode[length] &&
+			code < h.firstCode[length]+uint32(h.counts[length]) {
+			h2 := h.symbols[h.firstIdx[length]+int(code-h.firstCode[length])]
+			out = append(out, h2)
+			code, length = 0, 0
+		}
+	}
+	return out, nil
+}
+
+func init() {
+	Register("huffman", func(train []byte) (Codec, error) { return NewHuffman(train), nil })
+}

@@ -1,0 +1,146 @@
+package compress
+
+import "fmt"
+
+// lzss is a classic LZSS codec: a 4KiB sliding window, 3..18-byte
+// matches encoded as 16-bit (offset:12, length-3:4) tokens, and flag
+// bytes carrying 8 literal/match bits each. It anchors the high end of
+// the ratio spectrum at a moderate decompression cost — the software
+// decompressor class the paper's related work (Lefurgy et al.) profiles.
+type lzss struct{}
+
+const (
+	lzWindow   = 4096
+	lzMinMatch = 3
+	lzMaxMatch = lzMinMatch + 15
+)
+
+// NewLZSS returns the LZSS codec.
+func NewLZSS() Codec { return lzss{} }
+
+func (lzss) Name() string { return "lzss" }
+
+func (lzss) Cost() CostModel {
+	return CostModel{
+		CompressFixed: 64, CompressPerByte: 12,
+		DecompressFixed: 24, DecompressPerByte: 4,
+	}
+}
+
+func (lzss) Compress(src []byte) ([]byte, error) {
+	out := make([]byte, 0, len(src)+len(src)/8+4)
+	// head[h] is the most recent position with 3-byte hash h; prev links
+	// positions sharing a hash (bounded chain search).
+	const hashSize = 1 << 13
+	head := make([]int, hashSize)
+	for i := range head {
+		head[i] = -1
+	}
+	prev := make([]int, len(src))
+	hash := func(i int) int {
+		return int(uint32(src[i])<<7^uint32(src[i+1])<<4^uint32(src[i+2])) & (hashSize - 1)
+	}
+
+	var flagPos int
+	var flagBit uint
+	newFlag := func() {
+		flagPos = len(out)
+		out = append(out, 0)
+		flagBit = 0
+	}
+	newFlag()
+	emit := func(isMatch bool, bytes ...byte) {
+		if flagBit == 8 {
+			newFlag()
+		}
+		if isMatch {
+			out[flagPos] |= 1 << flagBit
+		}
+		flagBit++
+		out = append(out, bytes...)
+	}
+
+	for i := 0; i < len(src); {
+		bestLen, bestOff := 0, 0
+		if i+lzMinMatch <= len(src) {
+			h := hash(i)
+			cand := head[h]
+			for tries := 0; cand >= 0 && i-cand <= lzWindow-1 && tries < 32; tries++ {
+				l := 0
+				max := len(src) - i
+				if max > lzMaxMatch {
+					max = lzMaxMatch
+				}
+				for l < max && src[cand+l] == src[i+l] {
+					l++
+				}
+				if l > bestLen {
+					bestLen, bestOff = l, i-cand
+				}
+				cand = prev[cand]
+			}
+		}
+		insert := func(pos int) {
+			if pos+lzMinMatch <= len(src) {
+				h := hash(pos)
+				prev[pos] = head[h]
+				head[h] = pos
+			}
+		}
+		if bestLen >= lzMinMatch {
+			token := uint16(bestOff)<<4 | uint16(bestLen-lzMinMatch)
+			emit(true, byte(token>>8), byte(token))
+			for j := 0; j < bestLen; j++ {
+				insert(i + j)
+			}
+			i += bestLen
+		} else {
+			emit(false, src[i])
+			insert(i)
+			i++
+		}
+	}
+	return out, nil
+}
+
+func (lzss) Decompress(src []byte) ([]byte, error) {
+	out := make([]byte, 0, len(src)*2)
+	i := 0
+	for i < len(src) {
+		flags := src[i]
+		i++
+		for bit := uint(0); bit < 8; bit++ {
+			if i >= len(src) {
+				// Trailing zero flag bits are padding; a set bit with no
+				// data is corruption.
+				if flags>>bit != 0 {
+					return nil, fmt.Errorf("%w: LZSS flags claim data past end", ErrCorrupt)
+				}
+				break
+			}
+			if flags&(1<<bit) == 0 {
+				out = append(out, src[i])
+				i++
+				continue
+			}
+			if i+1 >= len(src) {
+				return nil, fmt.Errorf("%w: truncated LZSS token at %d", ErrCorrupt, i)
+			}
+			token := uint16(src[i])<<8 | uint16(src[i+1])
+			i += 2
+			off := int(token >> 4)
+			length := int(token&0xf) + lzMinMatch
+			if off == 0 || off > len(out) {
+				return nil, fmt.Errorf("%w: LZSS offset %d beyond %d output bytes", ErrCorrupt, off, len(out))
+			}
+			for j := 0; j < length; j++ {
+				out = append(out, out[len(out)-off])
+			}
+		}
+	}
+	return out, nil
+}
+
+func init() {
+	Register("lzss", func([]byte) (Codec, error) { return NewLZSS(), nil })
+}

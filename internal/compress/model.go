@@ -1,0 +1,116 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// ModelMarshaler is implemented by trained codecs whose model (the
+// decompressor's side table) can be serialized into a deployable image.
+// Untrained codecs marshal an empty model.
+type ModelMarshaler interface {
+	// MarshalModel serializes the codec's trained state.
+	MarshalModel() []byte
+}
+
+// modelUnmarshalers rebuilds codecs from serialized models, keyed by
+// codec name.
+var modelUnmarshalers = map[string]func(model []byte) (Codec, error){}
+
+// RegisterModel installs a model unmarshaler for a codec name.
+func RegisterModel(name string, f func(model []byte) (Codec, error)) {
+	if _, dup := modelUnmarshalers[name]; dup {
+		panic("compress: RegisterModel called twice for " + name)
+	}
+	modelUnmarshalers[name] = f
+}
+
+// FromModel rebuilds a codec from its name and serialized model.
+func FromModel(name string, model []byte) (Codec, error) {
+	f, ok := modelUnmarshalers[name]
+	if !ok {
+		return nil, fmt.Errorf("compress: codec %q has no model unmarshaler", name)
+	}
+	return f(model)
+}
+
+// MarshalModel extracts the serialized model of any codec: trained
+// codecs provide their table, stateless ones an empty model.
+func MarshalModel(c Codec) []byte {
+	if m, ok := c.(ModelMarshaler); ok {
+		return m.MarshalModel()
+	}
+	return nil
+}
+
+// --- dict model: uvarint count, then count little-endian words. ------
+
+// MarshalModel implements ModelMarshaler for the dictionary codec.
+func (d *dict) MarshalModel() []byte {
+	out := binary.AppendUvarint(nil, uint64(len(d.words)))
+	for _, w := range d.words {
+		out = binary.LittleEndian.AppendUint32(out, w)
+	}
+	return out
+}
+
+func dictFromModel(model []byte) (Codec, error) {
+	n, hdr := binary.Uvarint(model)
+	if hdr <= 0 || n > DictSize {
+		return nil, fmt.Errorf("%w: bad dict model header", ErrCorrupt)
+	}
+	model = model[hdr:]
+	if len(model) != int(n)*4 {
+		return nil, fmt.Errorf("%w: dict model wants %d words, has %d bytes", ErrCorrupt, n, len(model))
+	}
+	d := &dict{index: make(map[uint32]uint16, n)}
+	for i := 0; i < int(n); i++ {
+		w := binary.LittleEndian.Uint32(model[i*4:])
+		d.words = append(d.words, w)
+		d.index[w] = uint16(i)
+	}
+	return d, nil
+}
+
+// --- huffman model: the 256 code lengths. -----------------------------
+
+// MarshalModel implements ModelMarshaler for the Huffman codec.
+func (h *huffman) MarshalModel() []byte {
+	out := make([]byte, 256)
+	copy(out, h.lengths[:])
+	return out
+}
+
+func huffmanFromModel(model []byte) (Codec, error) {
+	if len(model) != 256 {
+		return nil, fmt.Errorf("%w: huffman model wants 256 lengths, has %d", ErrCorrupt, len(model))
+	}
+	h := &huffman{}
+	for i, l := range model {
+		if l == 0 || l > maxCodeLen {
+			return nil, fmt.Errorf("%w: huffman model length %d for symbol %d", ErrCorrupt, l, i)
+		}
+		h.lengths[i] = l
+	}
+	h.buildCanonical()
+	// Kraft check: the lengths must form a complete prefix code, or
+	// decoding would be ambiguous/underdefined.
+	sum := 0.0
+	for _, l := range h.lengths {
+		sum += 1 / float64(uint64(1)<<l)
+	}
+	if sum > 1.0000001 {
+		return nil, fmt.Errorf("%w: huffman model violates Kraft inequality", ErrCorrupt)
+	}
+	return h, nil
+}
+
+// --- stateless codecs: empty models. ----------------------------------
+
+func init() {
+	RegisterModel("dict", dictFromModel)
+	RegisterModel("huffman", huffmanFromModel)
+	RegisterModel("identity", func([]byte) (Codec, error) { return NewIdentity(), nil })
+	RegisterModel("rle", func([]byte) (Codec, error) { return NewRLE(), nil })
+	RegisterModel("lzss", func([]byte) (Codec, error) { return NewLZSS(), nil })
+}

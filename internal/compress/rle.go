@@ -1,0 +1,79 @@
+package compress
+
+import "fmt"
+
+// rle is a byte run-length codec with an escape marker. Runs of 4 or
+// more equal bytes become (escape, count, byte); the escape byte itself
+// is always escaped. RLE is the cheapest real codec in the suite and the
+// weakest on instruction streams — it anchors the low end of the
+// ratio/cost spectrum.
+type rle struct{}
+
+// rleEscape introduces a run token. 0xA5 is rare in ERI32 images.
+const rleEscape = 0xA5
+
+// rleMinRun is the shortest run worth encoding (a token costs 3 bytes).
+const rleMinRun = 4
+
+// rleMaxRun is the longest run one token can carry.
+const rleMaxRun = 255
+
+// NewRLE returns the run-length codec.
+func NewRLE() Codec { return rle{} }
+
+func (rle) Name() string { return "rle" }
+
+func (rle) Cost() CostModel {
+	return CostModel{
+		CompressFixed: 16, CompressPerByte: 2,
+		DecompressFixed: 8, DecompressPerByte: 1,
+	}
+}
+
+func (rle) Compress(src []byte) ([]byte, error) {
+	out := make([]byte, 0, len(src)/2+8)
+	for i := 0; i < len(src); {
+		b := src[i]
+		run := 1
+		for i+run < len(src) && src[i+run] == b && run < rleMaxRun {
+			run++
+		}
+		switch {
+		case run >= rleMinRun || b == rleEscape:
+			out = append(out, rleEscape, byte(run), b)
+			i += run
+		default:
+			out = append(out, b)
+			i++
+		}
+	}
+	return out, nil
+}
+
+func (rle) Decompress(src []byte) ([]byte, error) {
+	out := make([]byte, 0, len(src)*2)
+	for i := 0; i < len(src); {
+		b := src[i]
+		if b != rleEscape {
+			out = append(out, b)
+			i++
+			continue
+		}
+		if i+2 >= len(src) {
+			return nil, fmt.Errorf("%w: truncated RLE token at %d", ErrCorrupt, i)
+		}
+		count, v := int(src[i+1]), src[i+2]
+		if count == 0 {
+			return nil, fmt.Errorf("%w: zero-length RLE run at %d", ErrCorrupt, i)
+		}
+		for j := 0; j < count; j++ {
+			out = append(out, v)
+		}
+		i += 3
+	}
+	return out, nil
+}
+
+func init() {
+	Register("rle", func([]byte) (Codec, error) { return NewRLE(), nil })
+}

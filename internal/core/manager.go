@@ -1,0 +1,808 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"apbcc/internal/cfg"
+	"apbcc/internal/compress"
+	"apbcc/internal/mem"
+	"apbcc/internal/program"
+	"apbcc/internal/trace"
+)
+
+// UnitID identifies a compression unit. With GranBlock, unit IDs equal
+// block IDs; with GranFunction, blocks sharing a function name share a
+// unit.
+type UnitID int
+
+// unitState tracks one unit's runtime condition.
+type unitState uint8
+
+const (
+	stateCompressed unitState = iota // only the compressed form exists
+	stateIssued                      // decompression job issued, copy allocated
+	stateLive                        // copy usable
+)
+
+type unit struct {
+	id     UnitID
+	blocks []cfg.BlockID // members, sorted
+	plain  []byte        // concatenated uncompressed images
+	comp   []byte        // compressed form
+	// sites are the static branch sites targeting this unit from other
+	// units (the static half of the remember set).
+	sites []program.BranchSite
+
+	state    unitState
+	addr     mem.Addr // managed-area address when state != stateCompressed
+	counter  int      // k-edge counter; reset on execution
+	lastUse  int64    // edge clock of last execution (LRU key)
+	issuedAt int64    // edge clock of decompression issue
+	everUsed bool     // executed since last decompression (waste tracking)
+	// dying holds allocations awaiting the compression thread in
+	// writeback mode: discarded copies whose space is not yet reusable.
+	// FinishDelete releases them oldest-first.
+	dying []mem.Addr
+}
+
+// Stats aggregates Manager-level counters. Cycle-level metrics live in
+// the simulator; these are policy-level counts.
+type Stats struct {
+	Entries            int64 // block entries
+	Exceptions         int64 // memory-protection traps
+	DemandDecompresses int64 // decompressions on the critical path
+	Prefetches         int64 // background decompressions issued
+	PrefetchHits       int64 // entries that found a prefetched copy
+	Hits               int64 // entries that found a live copy (any source)
+	Deletes            int64 // k-edge compressions
+	WastedPrefetches   int64 // prefetched copies deleted or evicted unused
+	Patches            int64 // branch-site updates, both directions
+	Evictions          int64 // LRU evictions under a budget
+	WritebackWaits     int64 // handler stalls waiting on pending writebacks
+}
+
+// Manager is the access-pattern-based compression runtime.
+type Manager struct {
+	prog  *program.Program
+	conf  Config
+	img   *mem.Image
+	units []*unit
+	// unitOf maps every block to its unit.
+	unitOf []UnitID
+	// blockUnitStart maps a block to its byte offset inside its unit's
+	// image (needed to locate copies of individual blocks).
+	blockUnitStart []int
+
+	// patched tracks which branch sites currently point at a
+	// decompressed copy rather than at the compressed code area.
+	patched map[program.BranchSite]bool
+	// sitesFrom indexes sites by their containing unit, so deleting a
+	// unit can unpatch the sites that live inside its copy.
+	sitesFrom map[UnitID][]program.BranchSite
+
+	clock   int64 // edge counter (monotonic)
+	current UnitID
+	started bool
+
+	stats  Stats
+	events []Event
+	occ    mem.Occupancy
+}
+
+// NewManager compresses every unit of the program and builds the
+// runtime. The returned Manager starts with the whole program in
+// compressed form — the paper's minimum memory image.
+func NewManager(p *program.Program, conf Config) (*Manager, error) {
+	if err := conf.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Manager{prog: p, conf: conf, patched: make(map[program.BranchSite]bool), sitesFrom: make(map[UnitID][]program.BranchSite), current: -1}
+	if err := m.buildUnits(); err != nil {
+		return nil, err
+	}
+
+	compSizes := make([]int, len(m.units))
+	for i, u := range m.units {
+		compSizes[i] = len(u.comp)
+	}
+	managed := conf.ManagedBytes
+	if managed == 0 {
+		managed = 2 * p.TotalBytes()
+	}
+	img, err := mem.NewImage(0x1000, compSizes, managed)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	img.Managed().SetPolicy(conf.Alloc)
+	m.img = img
+	if conf.BudgetBytes > 0 {
+		minNeed := img.CompressedSize() + m.largestUnitBytes()
+		if conf.BudgetBytes < minNeed {
+			return nil, fmt.Errorf("core: budget %d bytes below minimum feasible %d (compressed area %d + largest unit %d)",
+				conf.BudgetBytes, minNeed, img.CompressedSize(), m.largestUnitBytes())
+		}
+	}
+	return m, nil
+}
+
+// buildUnits groups blocks into units, compresses them and verifies the
+// codec round-trip, and indexes branch sites by target unit.
+func (m *Manager) buildUnits() error {
+	g := m.prog.Graph
+	m.unitOf = make([]UnitID, g.NumBlocks())
+	m.blockUnitStart = make([]int, g.NumBlocks())
+
+	// Assign blocks to units.
+	switch m.conf.Granularity {
+	case GranBlock:
+		for _, b := range g.Blocks() {
+			m.unitOf[b.ID] = UnitID(b.ID)
+		}
+	case GranFunction:
+		byFunc := make(map[string]UnitID)
+		next := UnitID(0)
+		for _, b := range g.Blocks() {
+			if b.Func == "" {
+				m.unitOf[b.ID] = next
+				next++
+				continue
+			}
+			id, ok := byFunc[b.Func]
+			if !ok {
+				id = next
+				byFunc[b.Func] = id
+				next++
+			}
+			m.unitOf[b.ID] = id
+		}
+	default:
+		return fmt.Errorf("core: unknown granularity %d", m.conf.Granularity)
+	}
+
+	numUnits := 0
+	for _, id := range m.unitOf {
+		if int(id)+1 > numUnits {
+			numUnits = int(id) + 1
+		}
+	}
+	m.units = make([]*unit, numUnits)
+	for i := range m.units {
+		m.units[i] = &unit{id: UnitID(i)}
+	}
+	for _, b := range g.Blocks() {
+		u := m.units[m.unitOf[b.ID]]
+		u.blocks = append(u.blocks, b.ID)
+	}
+
+	// Build unit images in block-ID order and compress.
+	for _, u := range m.units {
+		sort.Slice(u.blocks, func(i, j int) bool { return u.blocks[i] < u.blocks[j] })
+		for _, bid := range u.blocks {
+			img, err := m.prog.BlockBytes(bid)
+			if err != nil {
+				return err
+			}
+			m.blockUnitStart[bid] = len(u.plain)
+			u.plain = append(u.plain, img...)
+		}
+		comp, err := m.conf.Codec.Compress(u.plain)
+		if err != nil {
+			return fmt.Errorf("core: compressing unit %d: %w", u.id, err)
+		}
+		back, err := m.conf.Codec.Decompress(comp)
+		if err != nil {
+			return fmt.Errorf("core: verifying unit %d: %w", u.id, err)
+		}
+		if !bytes.Equal(back, u.plain) {
+			return fmt.Errorf("core: codec %s round-trip mismatch on unit %d", m.conf.Codec.Name(), u.id)
+		}
+		u.comp = comp
+	}
+
+	// Index branch sites by target unit, skipping unit-internal sites
+	// (they need no patching: the whole unit moves together).
+	sites, err := m.prog.BranchSites()
+	if err != nil {
+		return err
+	}
+	for _, s := range sites {
+		fromU, toU := m.unitOf[s.Block], m.unitOf[s.Target]
+		if fromU == toU {
+			continue
+		}
+		m.units[toU].sites = append(m.units[toU].sites, s)
+		m.sitesFrom[fromU] = append(m.sitesFrom[fromU], s)
+	}
+	return nil
+}
+
+func (m *Manager) largestUnitBytes() int {
+	max := 0
+	for _, u := range m.units {
+		if len(u.plain) > max {
+			max = len(u.plain)
+		}
+	}
+	return max
+}
+
+// Program returns the program the manager runs.
+func (m *Manager) Program() *program.Program { return m.prog }
+
+// CodecCost returns the configured codec's cycle cost model.
+func (m *Manager) CodecCost() compress.CostModel { return m.conf.Codec.Cost() }
+
+// UnitOf returns the unit a block belongs to.
+func (m *Manager) UnitOf(b cfg.BlockID) UnitID { return m.unitOf[b] }
+
+// NumUnits returns the number of compression units.
+func (m *Manager) NumUnits() int { return len(m.units) }
+
+// UnitBytes returns a unit's uncompressed size.
+func (m *Manager) UnitBytes(u UnitID) int { return len(m.units[u].plain) }
+
+// UnitCompressedBytes returns a unit's compressed size.
+func (m *Manager) UnitCompressedBytes(u UnitID) int { return len(m.units[u].comp) }
+
+// IsLive reports whether the unit currently has a usable or in-flight
+// decompressed copy.
+func (m *Manager) IsLive(u UnitID) bool {
+	s := m.units[u].state
+	return s == stateIssued || s == stateLive
+}
+
+// Resident returns current resident code bytes: the compressed area
+// plus managed-area allocations.
+func (m *Manager) Resident() int { return m.img.Resident() }
+
+// CompressedSize returns the immutable compressed area size — the
+// minimum possible image.
+func (m *Manager) CompressedSize() int { return m.img.CompressedSize() }
+
+// UncompressedSize returns the fully-decompressed program size.
+func (m *Manager) UncompressedSize() int { return m.prog.TotalBytes() }
+
+// Image exposes the modeled memory for inspection.
+func (m *Manager) Image() *mem.Image { return m.img }
+
+// Stats returns a copy of the policy counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// Occupancy exposes the resident-memory integrator. The simulator calls
+// Tick on it as cycles elapse.
+func (m *Manager) Occupancy() *mem.Occupancy { return &m.occ }
+
+// Events returns the recorded event log (empty unless
+// Config.RecordEvents).
+func (m *Manager) Events() []Event { return m.events }
+
+// EnterBlock advances the runtime across one CFG edge: the execution
+// thread leaves block from (cfg.None on initial entry) and enters block
+// to. It implements the Section 5 exception-handler protocol, the
+// k-edge compression counters, budget eviction, and issues
+// pre-decompression per the configured strategy.
+func (m *Manager) EnterBlock(from, to cfg.BlockID) (*Transition, error) {
+	if int(to) < 0 || int(to) >= len(m.unitOf) {
+		return nil, fmt.Errorf("core: EnterBlock: unknown block %d", to)
+	}
+	if m.started && from != cfg.None {
+		// Verify the traversal follows a CFG edge; catching trace bugs
+		// here keeps simulator results meaningful. Blocks that end in
+		// an indirect jump (jr/jalr) have no static successors, so any
+		// dynamic target is legal from them.
+		ok := false
+		for _, e := range m.prog.Graph.Succs(from) {
+			if e.To == to {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			fb := m.prog.Graph.Block(from)
+			if fb != nil && fb.End > 0 && fb.End <= len(m.prog.Ins) &&
+				m.prog.Ins[fb.End-1].IsIndirect() {
+				ok = true
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("core: EnterBlock: no edge %v->%v", from, to)
+		}
+	}
+	tr := &Transition{}
+	target := m.unitOf[to]
+	tgt := m.units[target]
+	sameUnit := m.started && from != cfg.None && m.unitOf[from] == target
+
+	m.clock++
+	m.stats.Entries++
+	// Execution has left `from`: from this point the target unit is the
+	// one that must not be evicted, while the block just left is fair
+	// game for LRU eviction (its branch already executed).
+	m.current = target
+
+	// --- Exception-handler phase -------------------------------------
+	if sameUnit && m.IsLive(target) {
+		// Unit-internal edge into a live unit: no trap possible; the
+		// whole unit was decompressed together.
+		m.stats.Hits++
+	} else {
+		site, hasSite := m.siteFor(from, to)
+		sitePatched := hasSite && m.patched[site] && m.IsLive(target)
+		switch {
+		case m.IsLive(target) && sitePatched:
+			// Direct branch into the copy — Figure 5 step (7).
+			m.stats.Hits++
+			if tgt.state == stateIssued {
+				tr.InFlight = true
+			}
+		case m.IsLive(target):
+			// Copy exists but the branch still points at the compressed
+			// area — Figure 5 steps (5)-(6): trap, patch, continue.
+			tr.Exception = true
+			m.stats.Exceptions++
+			m.stats.Hits++
+			if tgt.state == stateIssued {
+				tr.InFlight = true
+				m.stats.PrefetchHits++
+				m.record(EvPrefetchHit, to, target)
+			}
+			if hasSite {
+				m.patch(site, true, tr)
+			}
+			m.record(EvException, to, target)
+		default:
+			// Compressed (or dying): trap + demand decompression —
+			// Figure 5 steps (1)-(2), (3)-(4), (8)-(9).
+			tr.Exception = true
+			m.stats.Exceptions++
+			m.record(EvException, to, target)
+			if err := m.allocate(tgt, tr, true); err != nil {
+				return nil, err
+			}
+			tgt.state = stateLive
+			tgt.everUsed = false
+			tr.Demand = &Job{Kind: JobDecompress, Unit: target, Bytes: len(tgt.plain)}
+			m.stats.DemandDecompresses++
+			m.record(EvDecompress, to, target)
+			if hasSite {
+				m.patch(site, true, tr)
+			}
+		}
+	}
+	if tgt.state == stateIssued {
+		// Execution reached it; it must complete before the block runs,
+		// so policy-wise it is now live (the simulator charges the
+		// remaining in-flight cycles as a stall).
+		tgt.state = stateLive
+	}
+	tgt.everUsed = true
+	tgt.counter = 0
+	tgt.lastUse = m.clock
+	m.current = target
+	m.started = true
+	m.record(EvEnter, to, target)
+
+	// --- k-edge compression phase ------------------------------------
+	// "At each branch, the counter of each (uncompressed) basic block is
+	// increased by 1 and the basic blocks whose counter reaches k are
+	// deleted." The entered unit was just reset and is skipped. Unless
+	// StrictCounters is set, units that have not executed since their
+	// (pre-)decompression are exempt: Section 3 defines the algorithm
+	// over blocks "visited by the execution thread".
+	for _, u := range m.units {
+		if u.id == target || (u.state != stateLive && u.state != stateIssued) {
+			continue
+		}
+		if !u.everUsed && !m.conf.StrictCounters {
+			continue
+		}
+		u.counter++
+		if u.counter >= m.conf.CompressK {
+			job := m.deleteUnit(u, tr)
+			tr.Deletes = append(tr.Deletes, job)
+		}
+	}
+
+	// --- Pre-decompression phase -------------------------------------
+	// The lookahead is anchored at the exit of the block being left
+	// (Section 4: "from the end of B1 to the beginning of B7, there are
+	// at most 3 edges"); on the initial entry it is anchored at the
+	// entry block itself.
+	anchor := from
+	if anchor == cfg.None {
+		anchor = to
+	}
+	switch m.conf.Strategy {
+	case PreAll:
+		for _, bid := range m.prog.Graph.WithinK(anchor, m.conf.DecompressK) {
+			m.maybePrefetch(m.unitOf[bid], tr)
+		}
+	case PreSingle:
+		// Predict first (the decompression thread decides at the exit
+		// of the anchor block), then let the predictor observe the edge
+		// actually taken.
+		best, ok := trace.BestWithinK(m.prog.Graph, m.conf.Predictor, anchor, m.conf.DecompressK,
+			func(b cfg.BlockID) bool { return m.units[m.unitOf[b]].state == stateCompressed })
+		if ok {
+			m.maybePrefetch(m.unitOf[best], tr)
+		}
+		if from != cfg.None {
+			m.conf.Predictor.Observe(from, to)
+		}
+	}
+	return tr, nil
+}
+
+// siteFor finds the static branch site implementing edge from→to, if
+// any (indirect edges and the initial entry have none). Unit-internal
+// sites are not tracked.
+func (m *Manager) siteFor(from, to cfg.BlockID) (program.BranchSite, bool) {
+	if !m.started || from == cfg.None {
+		return program.BranchSite{}, false
+	}
+	for _, s := range m.units[m.unitOf[to]].sites {
+		if s.Block == from && s.Target == to {
+			return s, true
+		}
+	}
+	return program.BranchSite{}, false
+}
+
+// patch flips one branch site between compressed-area and copy targets,
+// charging the critical-path patch counter on tr. A site can only be
+// patched while the copy containing it exists (budget eviction can
+// remove the source copy mid-transfer, in which case there is nothing
+// to rewrite).
+func (m *Manager) patch(site program.BranchSite, toCopy bool, tr *Transition) {
+	if toCopy && !m.IsLive(m.unitOf[site.Block]) {
+		return
+	}
+	if m.patched[site] == toCopy {
+		return
+	}
+	m.patched[site] = toCopy
+	m.stats.Patches++
+	tr.Patches++
+	m.record(EvPatch, site.Target, m.unitOf[site.Target])
+}
+
+// allocate reserves managed memory for a unit's copy, evicting LRU
+// units when a budget is configured. demand distinguishes critical-path
+// allocation (must succeed) from prefetch (may be skipped by caller on
+// failure).
+func (m *Manager) allocate(u *unit, tr *Transition, demand bool) error {
+	need := len(u.plain)
+	if m.conf.BudgetBytes > 0 {
+		for m.img.Resident()+need > m.conf.BudgetBytes {
+			if !m.evictLRU(u.id, tr) {
+				if demand {
+					return fmt.Errorf("core: budget %d cannot fit unit %d (%d bytes) with nothing evictable",
+						m.conf.BudgetBytes, u.id, need)
+				}
+				return mem.ErrOutOfMemory
+			}
+		}
+	}
+	for {
+		addr, err := m.img.Managed().Alloc(need)
+		if err == nil {
+			u.addr = addr
+			u.issuedAt = m.clock
+			m.occTouch()
+			return nil
+		}
+		// In writeback mode the space may be tied up in pending
+		// compression jobs; a demand allocation blocks until the
+		// compression thread releases one (the stall the delete-only
+		// design avoids). Prefetches just give up.
+		if demand && m.forceWriteback(tr) {
+			continue
+		}
+		if demand {
+			return fmt.Errorf("core: managed area exhausted decompressing unit %d: %w", u.id, err)
+		}
+		return err
+	}
+}
+
+// forceWriteback completes one pending writeback, if any, charging a
+// handler wait.
+func (m *Manager) forceWriteback(tr *Transition) bool {
+	for _, u := range m.units {
+		if len(u.dying) > 0 {
+			if err := m.FinishDelete(u.id); err != nil {
+				panic(fmt.Sprintf("core: forced writeback completion: %v", err))
+			}
+			m.stats.WritebackWaits++
+			tr.WritebackWaits++
+			return true
+		}
+	}
+	return false
+}
+
+// evictLRU discards the least-recently-used evictable copy. The unit
+// being brought in and the currently-executing unit are not evictable.
+func (m *Manager) evictLRU(incoming UnitID, tr *Transition) bool {
+	var victim *unit
+	for _, u := range m.units {
+		if u.id == incoming || u.id == m.current {
+			continue
+		}
+		if u.state != stateLive && u.state != stateIssued {
+			continue
+		}
+		if victim == nil || u.lastUse < victim.lastUse {
+			victim = u
+		}
+	}
+	if victim == nil {
+		// No live victim; as a last resort wait for the compression
+		// thread to release a pending writeback.
+		return m.forceWriteback(tr)
+	}
+	// Eviction is synchronous (the handler needs the space now): patch
+	// and free immediately, regardless of writeback mode.
+	if victim.state == stateIssued || !victim.everUsed {
+		m.stats.WastedPrefetches++
+	}
+	m.unpatchUnit(victim, tr)
+	if err := m.img.Managed().Free(victim.addr); err != nil {
+		panic(fmt.Sprintf("core: evict free: %v", err)) // allocator invariant breach
+	}
+	victim.state = stateCompressed
+	m.stats.Evictions++
+	tr.Evicted++
+	m.record(EvEvict, victim.blocks[0], victim.id)
+	m.occTouch()
+	return true
+}
+
+// deleteUnit performs the k-edge compression of a unit: re-point every
+// remembered branch site at the compressed area, drop (or schedule the
+// writeback of) the copy. Returns the background job for the
+// compression thread.
+func (m *Manager) deleteUnit(u *unit, tr *Transition) *Job {
+	if u.state == stateIssued || !u.everUsed {
+		m.stats.WastedPrefetches++
+	}
+	sites := m.unpatchUnit(u, tr)
+	m.stats.Deletes++
+	m.record(EvDelete, u.blocks[0], u.id)
+	if m.conf.WritebackCompression {
+		// Space stays claimed until the compression thread finishes;
+		// FinishDelete releases it. The unit itself is compressed again
+		// immediately (its copy is logically gone).
+		u.dying = append(u.dying, u.addr)
+		u.state = stateCompressed
+		m.occTouch()
+		return &Job{Kind: JobWriteback, Unit: u.id, Bytes: len(u.plain), Sites: sites}
+	}
+	if err := m.img.Managed().Free(u.addr); err != nil {
+		panic(fmt.Sprintf("core: delete free: %v", err))
+	}
+	u.state = stateCompressed
+	m.occTouch()
+	return &Job{Kind: JobDelete, Unit: u.id, Bytes: len(u.plain), Sites: sites}
+}
+
+// unpatchUnit re-points at the compressed area (a) every remembered
+// site targeting the unit, and (b) every patched site contained in the
+// unit's own copy (those sites disappear with the copy). Returns the
+// number of sites actually unpatched. These patches happen in the
+// background thread, so they are not charged to tr.Patches; they are
+// still counted in stats.
+func (m *Manager) unpatchUnit(u *unit, tr *Transition) int {
+	n := 0
+	for _, s := range u.sites {
+		if m.patched[s] {
+			m.patched[s] = false
+			m.stats.Patches++
+			n++
+			m.record(EvPatch, s.Target, u.id)
+		}
+	}
+	for _, s := range m.sitesFrom[u.id] {
+		if m.patched[s] {
+			m.patched[s] = false
+			m.stats.Patches++
+			n++
+		}
+	}
+	return n
+}
+
+// maybePrefetch issues a background decompression for a unit if it is
+// compressed and memory permits. Prefetch allocation failures are
+// silent: the strategy simply loses its head start.
+func (m *Manager) maybePrefetch(id UnitID, tr *Transition) {
+	u := m.units[id]
+	if u.state != stateCompressed || id == m.current {
+		return
+	}
+	if err := m.allocate(u, tr, false); err != nil {
+		return
+	}
+	u.state = stateIssued
+	u.everUsed = false
+	u.counter = 0
+	m.stats.Prefetches++
+	m.record(EvPreDecompress, u.blocks[0], id)
+	tr.Prefetches = append(tr.Prefetches, &Job{Kind: JobDecompress, Unit: id, Bytes: len(u.plain)})
+}
+
+// ForceEvict synchronously evicts the least-recently-used live unit
+// (never the currently-executing one), returning the bytes freed and
+// the branch sites unpatched. Multi-application coordinators use it to
+// enforce a shared, dynamically-split memory pool (Section 2's
+// "concurrently executing applications"); ok is false when nothing is
+// evictable.
+func (m *Manager) ForceEvict() (freed, patches int, ok bool) {
+	tr := &Transition{}
+	var victim *unit
+	for _, u := range m.units {
+		if u.id == m.current {
+			continue
+		}
+		if u.state != stateLive && u.state != stateIssued {
+			continue
+		}
+		if victim == nil || u.lastUse < victim.lastUse {
+			victim = u
+		}
+	}
+	if victim == nil {
+		return 0, 0, false
+	}
+	if victim.state == stateIssued || !victim.everUsed {
+		m.stats.WastedPrefetches++
+	}
+	n := m.unpatchUnit(victim, tr)
+	if err := m.img.Managed().Free(victim.addr); err != nil {
+		panic(fmt.Sprintf("core: force evict free: %v", err))
+	}
+	victim.state = stateCompressed
+	m.stats.Evictions++
+	m.record(EvEvict, victim.blocks[0], victim.id)
+	m.occTouch()
+	return len(victim.plain), n, true
+}
+
+// OldestLiveUse returns the edge-clock timestamp of the
+// least-recently-used live unit, the cross-application LRU key; ok is
+// false when no unit is live and evictable.
+func (m *Manager) OldestLiveUse() (clock int64, ok bool) {
+	found := false
+	best := int64(0)
+	for _, u := range m.units {
+		if u.id == m.current {
+			continue
+		}
+		if u.state != stateLive && u.state != stateIssued {
+			continue
+		}
+		if !found || u.lastUse < best {
+			best = u.lastUse
+			found = true
+		}
+	}
+	return best, found
+}
+
+// FinishDecompress marks an issued unit's copy usable. The simulator
+// calls it when the decompression thread completes the job.
+func (m *Manager) FinishDecompress(id UnitID) {
+	u := m.units[id]
+	if u.state == stateIssued {
+		u.state = stateLive
+	}
+}
+
+// FinishDelete releases a unit's oldest pending writeback allocation
+// (writeback mode only); it is a no-op when nothing is pending.
+func (m *Manager) FinishDelete(id UnitID) error {
+	u := m.units[id]
+	if len(u.dying) == 0 {
+		return nil
+	}
+	addr := u.dying[0]
+	u.dying = u.dying[1:]
+	if err := m.img.Managed().Free(addr); err != nil {
+		return fmt.Errorf("core: FinishDelete unit %d: %w", id, err)
+	}
+	m.occTouch()
+	return nil
+}
+
+// CompressedImage returns a copy of a unit's compressed form; the
+// concurrent runtime feeds it to real decompression workers.
+func (m *Manager) CompressedImage(id UnitID) []byte {
+	return append([]byte(nil), m.units[id].comp...)
+}
+
+// PlainImage returns a copy of a unit's original uncompressed image.
+func (m *Manager) PlainImage(id UnitID) []byte {
+	return append([]byte(nil), m.units[id].plain...)
+}
+
+// CopyBytes returns the decompressed image of a live unit, validating
+// the content against the original program bytes. Tests use it to prove
+// the runtime executes exactly the original code.
+func (m *Manager) CopyBytes(id UnitID) ([]byte, error) {
+	u := m.units[id]
+	if u.state != stateLive && u.state != stateIssued {
+		return nil, fmt.Errorf("core: unit %d has no copy", id)
+	}
+	out, err := m.conf.Codec.Decompress(u.comp)
+	if err != nil {
+		return nil, err
+	}
+	if !bytes.Equal(out, u.plain) {
+		return nil, fmt.Errorf("core: unit %d copy diverges from original", id)
+	}
+	return out, nil
+}
+
+// CheckInvariants verifies the runtime's internal consistency; property
+// tests call it after every step.
+func (m *Manager) CheckInvariants() error {
+	if err := m.img.Managed().Check(); err != nil {
+		return err
+	}
+	live := 0
+	for _, u := range m.units {
+		switch u.state {
+		case stateLive, stateIssued:
+			if n, ok := m.img.Managed().SizeOf(u.addr); !ok || n != len(u.plain) {
+				return fmt.Errorf("core: unit %d state %d has bad allocation", u.id, u.state)
+			}
+			live += len(u.plain)
+		}
+		for _, addr := range u.dying {
+			if n, ok := m.img.Managed().SizeOf(addr); !ok || n != len(u.plain) {
+				return fmt.Errorf("core: unit %d has bad pending-writeback allocation", u.id)
+			}
+			live += len(u.plain)
+		}
+		if u.counter >= m.conf.CompressK && (u.state == stateLive || u.state == stateIssued) && u.id != m.current {
+			return fmt.Errorf("core: unit %d counter %d >= k %d but still live", u.id, u.counter, m.conf.CompressK)
+		}
+	}
+	if live != m.img.Managed().InUse() {
+		return fmt.Errorf("core: live bytes %d != arena in-use %d", live, m.img.Managed().InUse())
+	}
+	// A patched site implies both its target unit and the unit whose
+	// copy contains the site are live or issued.
+	for _, u := range m.units {
+		for _, s := range u.sites {
+			if m.patched[s] && !m.IsLive(m.unitOf[s.Target]) {
+				return fmt.Errorf("core: site %d patched but target unit %d not live", s.Word, m.unitOf[s.Target])
+			}
+			if m.patched[s] && !m.IsLive(m.unitOf[s.Block]) {
+				return fmt.Errorf("core: site %d patched but containing unit %d not live", s.Word, m.unitOf[s.Block])
+			}
+		}
+	}
+	if m.conf.BudgetBytes > 0 && m.img.Resident() > m.conf.BudgetBytes {
+		return fmt.Errorf("core: resident %d exceeds budget %d", m.img.Resident(), m.conf.BudgetBytes)
+	}
+	return nil
+}
+
+// occTouch lets the occupancy integrator observe a new resident level
+// with zero elapsed time (peaks are captured even between Ticks).
+func (m *Manager) occTouch() {
+	m.occ.Tick(0, m.img.Resident())
+}
+
+func (m *Manager) record(kind EventKind, b cfg.BlockID, u UnitID) {
+	if !m.conf.RecordEvents {
+		return
+	}
+	m.events = append(m.events, Event{Kind: kind, Block: b, Unit: u, Clock: m.clock})
+}

@@ -1,0 +1,73 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// ByteOrder is the memory byte order of ERI32: little-endian, matching
+// the common embedded configuration of ARM/MIPS-class cores.
+var ByteOrder = binary.LittleEndian
+
+// WordsToBytes serializes instruction words into their little-endian
+// memory image.
+func WordsToBytes(words []uint32) []byte {
+	buf := make([]byte, len(words)*WordSize)
+	for i, w := range words {
+		ByteOrder.PutUint32(buf[i*WordSize:], w)
+	}
+	return buf
+}
+
+// BytesToWords deserializes a little-endian memory image into
+// instruction words. The image length must be a multiple of WordSize.
+func BytesToWords(buf []byte) ([]uint32, error) {
+	if len(buf)%WordSize != 0 {
+		return nil, fmt.Errorf("%w: %d bytes is not a whole number of words", ErrShortBuffer, len(buf))
+	}
+	words := make([]uint32, len(buf)/WordSize)
+	for i := range words {
+		words[i] = ByteOrder.Uint32(buf[i*WordSize:])
+	}
+	return words, nil
+}
+
+// DecodeAll decodes every word of a program image.
+func DecodeAll(words []uint32) ([]Instruction, error) {
+	ins := make([]Instruction, len(words))
+	for i, w := range words {
+		in, err := Decode(w)
+		if err != nil {
+			return nil, fmt.Errorf("isa: word %d: %w", i, err)
+		}
+		ins[i] = in
+	}
+	return ins, nil
+}
+
+// EncodeAll encodes a sequence of instructions into words.
+func EncodeAll(ins []Instruction) ([]uint32, error) {
+	words := make([]uint32, len(ins))
+	for i, in := range ins {
+		w, err := in.Encode()
+		if err != nil {
+			return nil, fmt.Errorf("isa: instruction %d (%s): %w", i, in, err)
+		}
+		words[i] = w
+	}
+	return words, nil
+}
+
+// Disassemble renders a program image as one assembly line per word,
+// prefixed with the word index.
+func Disassemble(words []uint32) ([]string, error) {
+	lines := make([]string, len(words))
+	for i, w := range words {
+		in, err := Decode(w)
+		if err != nil {
+			return nil, fmt.Errorf("isa: word %d: %w", i, err)
+		}
+		lines[i] = fmt.Sprintf("%4d: %s", i, in)
+	}
+	return lines, nil
+}

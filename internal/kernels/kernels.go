@@ -1,0 +1,375 @@
+// Package kernels provides real ERI32 assembly programs with genuine
+// semantics — a bitwise CRC-32, an insertion sort and a fixed-point FIR
+// filter — used for end-to-end differential testing: each kernel runs
+// both on a bare interpreter and under the compression runtime, and the
+// two executions must produce identical architectural results while the
+// runtime produces its memory/performance metrics from the *live*
+// instruction access pattern.
+//
+// Data memory layout conventions: each kernel reads its inputs from a
+// constant pool + buffer that Init preloads, and emits results with the
+// sys instruction so tests can compare output streams.
+package kernels
+
+import (
+	"fmt"
+
+	"apbcc/internal/isa"
+	"apbcc/internal/machine"
+	"apbcc/internal/program"
+	"apbcc/internal/vm"
+)
+
+// Kernel is one verified benchmark program.
+type Kernel struct {
+	// Name identifies the kernel.
+	Name string
+	// Desc is a one-line description.
+	Desc string
+	// Source is the ERI32 assembly.
+	Source string
+	// Init preloads the VM data memory with the kernel's inputs.
+	Init func(c *vm.CPU)
+	// Check verifies the architectural outcome of a run.
+	Check func(res *machine.Result) error
+}
+
+// Program assembles the kernel.
+func (k *Kernel) Program() (*program.Program, error) {
+	return program.FromAssembly(k.Name, k.Source)
+}
+
+// All returns the kernel suite.
+func All() []*Kernel {
+	return []*Kernel{CRC32(), Sort(), FIR(), MatMul()}
+}
+
+// ---------------------------------------------------------------------
+// CRC-32 (reflected, polynomial 0xEDB88320), bit-serial.
+//
+// Data layout: [0] poly, [4] length N, [8..8+N) message bytes.
+// Emits the final CRC via sys 1.
+
+const crcLen = 256
+
+// crcSource is the bit-serial CRC-32 kernel.
+const crcSource = `
+	; CRC-32, bit-serial. r1=ptr r2=remaining r3=crc r5=byte r6=bit
+	; r7=poly r8=tmp r9=const1
+	init:
+		lw   r7, 0(r0)        ; polynomial
+		lw   r2, 4(r0)        ; length
+		addi r1, r0, 8        ; message base
+		nor  r3, r0, r0       ; crc = 0xFFFFFFFF
+		addi r9, r0, 1
+		beq  r2, r0, badlen   ; cold validation path
+	byteloop:
+		lb   r5, 0(r1)
+		andi r5, r5, 0xff
+		xor  r3, r3, r5
+		addi r6, r0, 8
+	bitloop:
+		and  r8, r3, r9       ; crc & 1
+		srl  r3, r3, r9       ; crc >>= 1
+		beq  r8, r0, skip
+		xor  r3, r3, r7       ; crc ^= poly
+	skip:
+		addi r6, r6, -1
+		bne  r6, r0, bitloop
+		addi r1, r1, 1
+		addi r2, r2, -1
+		bne  r2, r0, byteloop
+		nor  r4, r3, r0       ; final xor: ^crc
+		add  r3, r0, r4
+		sys  1                ; emit crc
+		sw   r3, 4(r0)        ; store result over the length slot
+		halt
+	badlen:                       ; cold error path: emit -1
+		nor  r4, r0, r0
+		sys  1
+		halt
+`
+
+// CRC32 builds the CRC kernel.
+func CRC32() *Kernel {
+	msg := make([]byte, crcLen)
+	for i := range msg {
+		msg[i] = byte(i*7 + 3)
+	}
+	return &Kernel{
+		Name:   "crc32-real",
+		Desc:   "bit-serial CRC-32 over a 256-byte message",
+		Source: crcSource,
+		Init: func(c *vm.CPU) {
+			isa.ByteOrder.PutUint32(c.Data()[0:], 0xEDB88320)
+			isa.ByteOrder.PutUint32(c.Data()[4:], crcLen)
+			copy(c.Data()[8:], msg)
+		},
+		Check: func(res *machine.Result) error {
+			want := refCRC32(msg)
+			if len(res.OutInts) != 1 {
+				return fmt.Errorf("kernels: crc emitted %d values", len(res.OutInts))
+			}
+			if uint32(res.OutInts[0]) != want {
+				return fmt.Errorf("kernels: crc = %#x, want %#x", uint32(res.OutInts[0]), want)
+			}
+			return nil
+		},
+	}
+}
+
+// refCRC32 is the Go reference implementation.
+func refCRC32(msg []byte) uint32 {
+	crc := ^uint32(0)
+	for _, b := range msg {
+		crc ^= uint32(b)
+		for i := 0; i < 8; i++ {
+			if crc&1 != 0 {
+				crc = crc>>1 ^ 0xEDB88320
+			} else {
+				crc >>= 1
+			}
+		}
+	}
+	return ^crc
+}
+
+// ---------------------------------------------------------------------
+// Insertion sort over N words.
+//
+// Data layout: [0] N, [4..4+4N) values. Sorts ascending in place, then
+// emits sum(i * a[i]) via sys 1. The inner while loop's trip count is
+// data-dependent — the branch pattern a predictor cannot learn exactly.
+
+const sortN = 48
+
+// sortSource is the insertion sort kernel.
+const sortSource = `
+	; r1=i r2=j(word offsets) r3=key r5=a[j] r6=N*4 r8=addr/tmp r9=4
+	init:
+		lw   r6, 0(r0)
+		addi r9, r0, 4
+		mul  r6, r6, r9        ; N*4
+		beq  r6, r0, empty     ; cold validation path
+		addi r1, r0, 4         ; i = 1 word
+	outer:
+		bge  r1, r6, done
+		addi r8, r1, 4         ; &a[i] = 4 + i*4 (base 4)
+		lw   r3, 0(r8)         ; key = a[i]
+		add  r2, r0, r1        ; j = i
+	inner:
+		beq  r2, r0, place
+		add  r8, r2, r0        ; &a[j-1] = 4 + (j-1)*4 = j
+		lw   r5, 0(r8)
+		blt  r5, r3, place     ; a[j-1] < key: stop
+		addi r8, r2, 4
+		sw   r5, 0(r8)         ; a[j] = a[j-1]
+		addi r2, r2, -4
+		j    inner
+	place:
+		addi r8, r2, 4
+		sw   r3, 0(r8)         ; a[j] = key
+		addi r1, r1, 4
+		j    outer
+	done:
+		; checksum = sum(i * a[i]) over word indices
+		addi r1, r0, 0         ; i*4
+		addi r4, r0, 0         ; sum
+		addi r7, r0, 0         ; i
+	sumloop:
+		bge  r1, r6, emit
+		addi r8, r1, 4
+		lw   r5, 0(r8)
+		mul  r5, r5, r7
+		add  r4, r4, r5
+		addi r1, r1, 4
+		addi r7, r7, 1
+		j    sumloop
+	emit:
+		sys  1
+		halt
+	empty:                         ; cold error path
+		nor  r4, r0, r0
+		sys  1
+		halt
+`
+
+// Sort builds the insertion-sort kernel.
+func Sort() *Kernel {
+	vals := make([]int32, sortN)
+	state := uint32(0x2545F491)
+	for i := range vals {
+		state = state*1664525 + 1013904223
+		vals[i] = int32(state % 1000)
+	}
+	return &Kernel{
+		Name:   "sort-real",
+		Desc:   "insertion sort of 48 words plus weighted checksum",
+		Source: sortSource,
+		Init: func(c *vm.CPU) {
+			isa.ByteOrder.PutUint32(c.Data()[0:], sortN)
+			for i, v := range vals {
+				isa.ByteOrder.PutUint32(c.Data()[4+4*i:], uint32(v))
+			}
+		},
+		Check: func(res *machine.Result) error {
+			sorted := append([]int32(nil), vals...)
+			for i := 1; i < len(sorted); i++ {
+				key := sorted[i]
+				j := i
+				for j > 0 && sorted[j-1] >= key {
+					sorted[j] = sorted[j-1]
+					j--
+				}
+				sorted[j] = key
+			}
+			var want int32
+			for i, v := range sorted {
+				want += int32(i) * v
+			}
+			if len(res.OutInts) != 1 || res.OutInts[0] != want {
+				return fmt.Errorf("kernels: sort checksum = %v, want %d", res.OutInts, want)
+			}
+			// The array must actually be sorted in data memory.
+			for i := 0; i < sortN; i++ {
+				got := int32(isa.ByteOrder.Uint32(res.Data[4+4*i:]))
+				if got != sorted[i] {
+					return fmt.Errorf("kernels: a[%d] = %d, want %d", i, got, sorted[i])
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// ---------------------------------------------------------------------
+// Fixed-point FIR filter: y[i] = (sum_j h[j]*x[i-j]) >> 8, with a
+// rarely-taken saturation branch.
+//
+// Data layout: [0] N, [4] M, [8..8+4M) taps, then samples, then output.
+
+const (
+	firN = 128
+	firM = 8
+)
+
+// firSource is the FIR kernel. Addresses: taps at 8, samples at
+// 8+4M, outputs after the samples.
+const firSource = `
+	.equ TAPS, 8
+	; r1=i r2=j r3=acc r5=tmp r6=N r7=M r8=addr r9=4 r10=sampleBase
+	; r11=outBase r12=shift8 r13=satmax r14=satmin
+	init:
+		lw   r6, 0(r0)
+		lw   r7, 4(r0)
+		addi r9, r0, 4
+		mul  r5, r7, r9
+		addi r10, r5, TAPS     ; samples = 8 + 4M
+		mul  r5, r6, r9
+		add  r11, r10, r5      ; out = samples + 4N
+		addi r12, r0, 8
+		lui  r13, 0            ; satmax = 32767
+		ori  r13, r13, 32767
+		sub  r14, r0, r13      ; satmin = -32767
+		beq  r6, r0, badcfg    ; cold validation path
+		addi r1, r0, 0         ; i = 0
+	sample:
+		addi r3, r0, 0         ; acc = 0
+		addi r2, r0, 0         ; j = 0
+	tap:
+		sub  r5, r1, r2        ; i - j
+		blt  r5, r0, taps_done ; skip negative history
+		mul  r5, r5, r9
+		add  r8, r10, r5
+		lw   r5, 0(r8)         ; x[i-j]
+		mul  r8, r2, r9
+		addi r8, r8, TAPS
+		lw   r8, 0(r8)         ; h[j]  (reuse r8 after addressing)
+		mul  r5, r5, r8
+		add  r3, r3, r5
+	taps_done:
+		addi r2, r2, 1
+		blt  r2, r7, tap
+		sra  r3, r3, r12       ; acc >>= 8
+		bge  r3, r13, sathi    ; rare saturation paths
+		bge  r14, r3, satlo
+	writeout:
+		mul  r5, r1, r9
+		add  r8, r11, r5
+		sw   r3, 0(r8)         ; y[i]
+		addi r1, r1, 1
+		blt  r1, r6, sample
+		; checksum: xor of outputs
+		addi r4, r0, 0
+		addi r1, r0, 0
+	chk:
+		mul  r5, r1, r9
+		add  r8, r11, r5
+		lw   r5, 0(r8)
+		xor  r4, r4, r5
+		addi r1, r1, 1
+		blt  r1, r6, chk
+		sys  1
+		halt
+	sathi:
+		add  r3, r0, r13
+		j    writeout
+	satlo:
+		add  r3, r0, r14
+		j    writeout
+	badcfg:                        ; cold error path
+		nor  r4, r0, r0
+		sys  1
+		halt
+`
+
+// FIR builds the FIR kernel.
+func FIR() *Kernel {
+	taps := []int32{64, 128, 192, 256, 192, 128, 64, 32}
+	samples := make([]int32, firN)
+	state := uint32(0xC0FFEE)
+	for i := range samples {
+		state = state*1664525 + 1013904223
+		samples[i] = int32(state%4096) - 2048
+	}
+	return &Kernel{
+		Name:   "fir-real",
+		Desc:   "8-tap fixed-point FIR over 128 samples with saturation",
+		Source: firSource,
+		Init: func(c *vm.CPU) {
+			isa.ByteOrder.PutUint32(c.Data()[0:], firN)
+			isa.ByteOrder.PutUint32(c.Data()[4:], firM)
+			for i, v := range taps {
+				isa.ByteOrder.PutUint32(c.Data()[8+4*i:], uint32(v))
+			}
+			base := 8 + 4*firM
+			for i, v := range samples {
+				isa.ByteOrder.PutUint32(c.Data()[base+4*i:], uint32(v))
+			}
+		},
+		Check: func(res *machine.Result) error {
+			want := int32(0)
+			for i := 0; i < firN; i++ {
+				acc := int32(0)
+				for j := 0; j < firM; j++ {
+					if i-j < 0 {
+						continue
+					}
+					acc += samples[i-j] * taps[j]
+				}
+				y := acc >> 8
+				if y >= 32767 {
+					y = 32767
+				}
+				if y <= -32767 {
+					y = -32767
+				}
+				want ^= y
+			}
+			if len(res.OutInts) != 1 || res.OutInts[0] != want {
+				return fmt.Errorf("kernels: fir checksum = %v, want %d", res.OutInts, want)
+			}
+			return nil
+		},
+	}
+}

@@ -1,0 +1,132 @@
+package kernels
+
+import (
+	"fmt"
+
+	"apbcc/internal/isa"
+	"apbcc/internal/machine"
+	"apbcc/internal/vm"
+)
+
+// Matrix multiply: C = A×B over n×n int32 matrices, triple-nested
+// loops — the deepest loop nest in the verified suite, with a cold
+// dimension-check path.
+//
+// Data layout: [0] n, then A (n*n words), B, C.
+
+const matN = 12
+
+// matmulSource is the triple-nested matrix multiply kernel.
+const matmulSource = `
+	; r1=i r2=j r3=k r4=out/acc r5=tmp r6=n r7=aBase r8=bBase r9=cBase
+	; r10=4 r11=addr r12=a[i][k] r13=b[k][j] r14=n*4
+	init:
+		lw   r6, 0(r0)
+		beq  r6, r0, baddim     ; cold validation path
+		addi r10, r0, 4
+		mul  r14, r6, r10       ; row stride in bytes
+		addi r7, r0, 4          ; A base
+		mul  r5, r6, r14
+		add  r8, r7, r5         ; B base = A + n*n*4
+		add  r9, r8, r5         ; C base = B + n*n*4
+		addi r1, r0, 0
+	iloop:
+		addi r2, r0, 0
+	jloop:
+		addi r4, r0, 0          ; acc = 0
+		addi r3, r0, 0
+	kloop:
+		; a[i][k]
+		mul  r11, r1, r14
+		add  r11, r11, r7
+		mul  r5, r3, r10
+		add  r11, r11, r5
+		lw   r12, 0(r11)
+		; b[k][j]
+		mul  r11, r3, r14
+		add  r11, r11, r8
+		mul  r5, r2, r10
+		add  r11, r11, r5
+		lw   r13, 0(r11)
+		mul  r5, r12, r13
+		add  r4, r4, r5
+		addi r3, r3, 1
+		blt  r3, r6, kloop
+		; c[i][j] = acc
+		mul  r11, r1, r14
+		add  r11, r11, r9
+		mul  r5, r2, r10
+		add  r11, r11, r5
+		sw   r4, 0(r11)
+		addi r2, r2, 1
+		blt  r2, r6, jloop
+		addi r1, r1, 1
+		blt  r1, r6, iloop
+		; checksum: xor of C
+		addi r4, r0, 0
+		addi r1, r0, 0
+		mul  r5, r6, r6
+	chk:
+		mul  r11, r1, r10
+		add  r11, r11, r9
+		lw   r12, 0(r11)
+		xor  r4, r4, r12
+		addi r1, r1, 1
+		blt  r1, r5, chk
+		sys  1
+		halt
+	baddim:                         ; cold error path
+		nor  r4, r0, r0
+		sys  1
+		halt
+`
+
+// MatMul builds the matrix-multiply kernel.
+func MatMul() *Kernel {
+	a := make([]int32, matN*matN)
+	b := make([]int32, matN*matN)
+	state := uint32(0xDECAF)
+	for i := range a {
+		state = state*1664525 + 1013904223
+		a[i] = int32(state%64) - 32
+		state = state*1664525 + 1013904223
+		b[i] = int32(state%64) - 32
+	}
+	return &Kernel{
+		Name:   "matmul-real",
+		Desc:   "12x12 integer matrix multiply (triple loop nest)",
+		Source: matmulSource,
+		Init: func(c *vm.CPU) {
+			isa.ByteOrder.PutUint32(c.Data()[0:], matN)
+			base := 4
+			for i, v := range a {
+				isa.ByteOrder.PutUint32(c.Data()[base+4*i:], uint32(v))
+			}
+			base += 4 * matN * matN
+			for i, v := range b {
+				isa.ByteOrder.PutUint32(c.Data()[base+4*i:], uint32(v))
+			}
+		},
+		Check: func(res *machine.Result) error {
+			want := int32(0)
+			cBase := 4 + 2*4*matN*matN
+			for i := 0; i < matN; i++ {
+				for j := 0; j < matN; j++ {
+					acc := int32(0)
+					for k := 0; k < matN; k++ {
+						acc += a[i*matN+k] * b[k*matN+j]
+					}
+					got := int32(isa.ByteOrder.Uint32(res.Data[cBase+4*(i*matN+j):]))
+					if got != acc {
+						return fmt.Errorf("kernels: c[%d][%d] = %d, want %d", i, j, got, acc)
+					}
+					want ^= acc
+				}
+			}
+			if len(res.OutInts) != 1 || res.OutInts[0] != want {
+				return fmt.Errorf("kernels: matmul checksum = %v, want %d", res.OutInts, want)
+			}
+			return nil
+		},
+	}
+}

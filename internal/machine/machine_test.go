@@ -1,0 +1,183 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"apbcc/internal/compress"
+	"apbcc/internal/core"
+	"apbcc/internal/program"
+	"apbcc/internal/sim"
+	"apbcc/internal/vm"
+)
+
+const loopSrc = `
+	; sum 1..100, emit, halt
+	init:
+		addi r1, r0, 100
+		addi r2, r0, 0
+	loop:
+		add  r2, r2, r1
+		addi r1, r1, -1
+		bne  r1, r0, loop
+		add  r4, r0, r2
+		sys  1
+		halt
+`
+
+func build(t *testing.T, src string) (*program.Program, compress.Codec) {
+	t.Helper()
+	p, err := program.FromAssembly("m", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := p.CodeBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec, err := compress.New("dict", code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, codec
+}
+
+func TestRunMatchesPlain(t *testing.T) {
+	p, codec := build(t, loopSrc)
+	plain, err := RunPlain(p, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.OutInts) != 1 || plain.OutInts[0] != 5050 {
+		t.Fatalf("plain out = %v", plain.OutInts)
+	}
+	res, err := Run(p, Config{Core: core.Config{Codec: codec, CompressK: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OutInts[0] != 5050 || res.Steps != plain.Steps {
+		t.Errorf("compressed run diverged: out=%v steps=%d", res.OutInts, res.Steps)
+	}
+	if res.BaseCycles != plain.Steps*int64(sim.DefaultCosts().CPI) {
+		t.Errorf("base cycles %d != steps %d", res.BaseCycles, res.Steps)
+	}
+	if res.BlockEntries < 100 {
+		t.Errorf("block entries = %d, want one per loop iteration", res.BlockEntries)
+	}
+}
+
+func TestRunFallthroughBlockBoundary(t *testing.T) {
+	// A program whose block boundary is crossed by fallthrough (the
+	// branch target splits the straight-line code): entering the new
+	// block must still drive the runtime.
+	src := `
+		init:
+			addi r1, r0, 2
+		top:
+			addi r2, r2, 1
+		body:
+			addi r1, r1, -1
+			bne  r1, r0, body
+			halt
+	`
+	p, codec := build(t, src)
+	res, err := Run(p, Config{Core: core.Config{Codec: codec, CompressK: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Blocks: init+top+body-head? Leaders: 0 (entry), body (branch
+	// target), after-branch. The fallthrough from the first block into
+	// body must have produced an entry.
+	if res.BlockEntries < 3 {
+		t.Errorf("entries = %d", res.BlockEntries)
+	}
+}
+
+func TestRunIndirectCall(t *testing.T) {
+	src := `
+		main:
+			addi r4, r0, 3
+			jal  triple
+			sys  1
+			halt
+		triple:
+			add  r5, r4, r4
+			add  r4, r5, r4
+			jr   r31
+	`
+	p, codec := build(t, src)
+	plain, err := RunPlain(p, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, Config{Core: core.Config{Codec: codec, CompressK: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OutInts[0] != 9 || plain.OutInts[0] != 9 {
+		t.Errorf("out = %v / %v, want 9", res.OutInts, plain.OutInts)
+	}
+	// The jr return is an indirect transfer: it must traverse the
+	// exception path (its target cannot be patched).
+	if res.Core.Exceptions < 2 {
+		t.Errorf("exceptions = %d", res.Core.Exceptions)
+	}
+}
+
+func TestRunStepBudget(t *testing.T) {
+	p, codec := build(t, "loop: j loop")
+	_, err := Run(p, Config{Core: core.Config{Codec: codec, CompressK: 2}, MaxSteps: 100})
+	if err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Errorf("err = %v, want step budget error", err)
+	}
+}
+
+func TestRunVMErrorPropagates(t *testing.T) {
+	p, codec := build(t, "div r1, r2, r0\nhalt")
+	_, err := Run(p, Config{Core: core.Config{Codec: codec, CompressK: 2}})
+	if err == nil || !strings.Contains(err.Error(), "division by zero") {
+		t.Errorf("err = %v, want division by zero", err)
+	}
+}
+
+func TestRunInitHook(t *testing.T) {
+	src := `
+		lw  r4, 0(r0)
+		sys 1
+		halt
+	`
+	p, codec := build(t, src)
+	res, err := Run(p, Config{
+		Core: core.Config{Codec: codec, CompressK: 2},
+		Init: func(c *vm.CPU) { c.Data()[0] = 77 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OutInts[0] != 77 {
+		t.Errorf("out = %v", res.OutInts)
+	}
+}
+
+func TestRunBadConfig(t *testing.T) {
+	p, _ := build(t, "halt")
+	if _, err := Run(p, Config{Core: core.Config{}}); err == nil {
+		t.Error("missing codec accepted")
+	}
+}
+
+func TestRunPreAllOnLiveExecution(t *testing.T) {
+	p, codec := build(t, loopSrc)
+	res, err := Run(p, Config{Core: core.Config{
+		Codec: codec, CompressK: 8, Strategy: core.PreAll, DecompressK: 2,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OutInts[0] != 5050 {
+		t.Errorf("out = %v", res.OutInts)
+	}
+	if res.Core.Prefetches == 0 {
+		t.Error("pre-all issued no prefetches on live execution")
+	}
+}

@@ -1,0 +1,105 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBestFitPicksSmallestSpan(t *testing.T) {
+	a := NewArena(0, 100)
+	a1, _ := a.Alloc(30) // [0,30)
+	a2, _ := a.Alloc(10) // [30,40)
+	a3, _ := a.Alloc(40) // [40,80)
+	_ = a3               // tail free span [80,100) = 20 bytes
+	if err := a.Free(a1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(a2); err != nil {
+		t.Fatal(err)
+	}
+	// Free spans now: [0,40) = 40 bytes and [80,100) = 20 bytes.
+	a.SetPolicy(BestFit)
+	got, err := a.Alloc(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 80 {
+		t.Errorf("best-fit alloc at %d, want 80 (the 20-byte span)", got)
+	}
+	// First-fit would have picked the low span.
+	a.SetPolicy(FirstFit)
+	got2, err := a.Alloc(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2 != 0 {
+		t.Errorf("first-fit alloc at %d, want 0", got2)
+	}
+}
+
+func TestBestFitExactFitPreferred(t *testing.T) {
+	a := NewArena(0, 100)
+	spans := []int{20, 10, 30, 10, 30}
+	var addrs []Addr
+	for _, n := range spans {
+		ad, err := a.Alloc(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, ad)
+	}
+	// Free the 20 and the second 10: holes of 20 at 0 and 10 at 60.
+	if err := a.Free(addrs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(addrs[3]); err != nil {
+		t.Fatal(err)
+	}
+	a.SetPolicy(BestFit)
+	got, err := a.Alloc(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != addrs[3] {
+		t.Errorf("exact-fit alloc at %d, want %d", got, addrs[3])
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if FirstFit.String() != "first-fit" || BestFit.String() != "best-fit" {
+		t.Error("policy names")
+	}
+}
+
+// TestBestFitPropertyInvariants reruns the random-workload invariant
+// check under the best-fit policy.
+func TestBestFitPropertyInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := NewArena(0, 4096)
+		a.SetPolicy(BestFit)
+		var live []Addr
+		for op := 0; op < 200; op++ {
+			if len(live) == 0 || r.Intn(2) == 0 {
+				if addr, err := a.Alloc(1 + r.Intn(256)); err == nil {
+					live = append(live, addr)
+				}
+			} else {
+				i := r.Intn(len(live))
+				if err := a.Free(live[i]); err != nil {
+					return false
+				}
+				live = append(live[:i], live[i+1:]...)
+			}
+			if err := a.Check(); err != nil {
+				t.Log(err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,196 @@
+// Package multi runs several applications under one shared code
+// memory — the deployment the paper motivates in Section 2: "the
+// executable code occupies less memory space at a given time, and the
+// saved space can be used by some other (concurrently executing)
+// applications".
+//
+// Each application keeps its own compression runtime (Manager) and
+// timing engine; the System interleaves their execution round-robin
+// and enforces one global byte pool over their combined resident code
+// with cross-application LRU eviction: when the pool overflows, the
+// application holding the globally least-recently-used copy gives it
+// up. This is the dynamic alternative to statically splitting the
+// device memory into per-application budgets (examples/budget), and
+// the comparison between the two is experiment E10.
+package multi
+
+import (
+	"errors"
+	"fmt"
+
+	"apbcc/internal/cfg"
+	"apbcc/internal/core"
+	"apbcc/internal/sim"
+	"apbcc/internal/trace"
+)
+
+// App is one application in the shared system.
+type App struct {
+	// Name identifies the application in reports.
+	Name string
+	// Manager is its compression runtime (built with no per-app
+	// budget; the System enforces the global pool).
+	Manager *core.Manager
+	// Trace is its block access pattern.
+	Trace *trace.Trace
+
+	engine *sim.Engine
+	pos    int
+	prev   cfg.BlockID
+	done   bool
+}
+
+// AppResult is one application's outcome.
+type AppResult struct {
+	Name string
+	*sim.Result
+	// GlobalEvictions counts copies this app gave up to the shared
+	// pool (beyond its own budget evictions, which are zero here).
+	GlobalEvictions int64
+}
+
+// Result is the whole system's outcome.
+type Result struct {
+	Apps []AppResult
+	// PoolBytes is the enforced shared pool size.
+	PoolBytes int
+	// PeakCombined is the maximum combined resident code observed at
+	// any scheduling boundary.
+	PeakCombined int
+	// GlobalEvictions counts all cross-application evictions.
+	GlobalEvictions int64
+}
+
+// System shares one code memory pool among applications.
+type System struct {
+	apps  []*App
+	pool  int
+	costs sim.CostModel
+	// Slice is the round-robin quantum in block entries (default 32).
+	Slice int
+}
+
+// Errors.
+var (
+	ErrNoApps    = errors.New("multi: no applications")
+	ErrPoolSmall = errors.New("multi: pool below combined compressed floor")
+)
+
+// NewSystem builds a shared system over the given pool size in bytes.
+func NewSystem(poolBytes int, costs sim.CostModel, apps ...*App) (*System, error) {
+	if len(apps) == 0 {
+		return nil, ErrNoApps
+	}
+	floor := 0
+	for _, a := range apps {
+		if a.Manager == nil || a.Trace == nil || a.Trace.Len() == 0 {
+			return nil, fmt.Errorf("multi: app %q incomplete", a.Name)
+		}
+		floor += a.Manager.CompressedSize()
+		a.engine = sim.NewEngine(a.Manager, costs)
+		a.prev = cfg.None
+	}
+	if poolBytes < floor {
+		return nil, fmt.Errorf("%w: pool %d, floor %d", ErrPoolSmall, poolBytes, floor)
+	}
+	return &System{apps: apps, pool: poolBytes, costs: costs, Slice: 32}, nil
+}
+
+// combinedResident sums resident code across applications.
+func (s *System) combinedResident() int {
+	total := 0
+	for _, a := range s.apps {
+		total += a.Manager.Resident()
+	}
+	return total
+}
+
+// reclaim evicts globally-LRU copies until the pool constraint holds.
+// The running app's engine is charged for evictions performed on its
+// behalf (the handler doing the reclaiming runs on its critical path).
+func (s *System) reclaim(running *App) error {
+	for s.combinedResident() > s.pool {
+		var victim *App
+		var oldest int64
+		for _, a := range s.apps {
+			clock, ok := a.Manager.OldestLiveUse()
+			if !ok {
+				continue
+			}
+			// Cross-app comparison uses each app's own edge clock;
+			// normalizing by progress keeps long-running apps from
+			// dominating. Position in trace is the shared time proxy.
+			age := int64(a.pos) - clock
+			if victim == nil || age > oldest {
+				victim, oldest = a, age
+			}
+		}
+		if victim == nil {
+			return fmt.Errorf("multi: pool %d overcommitted with nothing evictable", s.pool)
+		}
+		_, patches, ok := victim.Manager.ForceEvict()
+		if !ok {
+			return fmt.Errorf("multi: victim %q had nothing to evict", victim.Name)
+		}
+		running.engine.ChargeEvict(patches)
+	}
+	return nil
+}
+
+// step advances one application by one block entry.
+func (s *System) step(a *App) error {
+	b := a.Trace.Blocks[a.pos]
+	graph := a.Manager.Program().Graph
+	if a.prev != cfg.None && len(graph.Succs(a.prev)) == 0 {
+		a.prev = cfg.None // kernel restart
+	}
+	if err := a.engine.Enter(a.prev, b); err != nil {
+		return fmt.Errorf("multi: %s step %d: %w", a.Name, a.pos, err)
+	}
+	a.engine.Exec(graph.Block(b).Words())
+	a.prev = b
+	a.pos++
+	if a.pos >= a.Trace.Len() {
+		a.done = true
+	}
+	return s.reclaim(a)
+}
+
+// Run interleaves all applications to completion and returns the
+// system outcome.
+func (s *System) Run() (*Result, error) {
+	res := &Result{PoolBytes: s.pool}
+	for {
+		active := false
+		for _, a := range s.apps {
+			if a.done {
+				continue
+			}
+			active = true
+			for q := 0; q < s.Slice && !a.done; q++ {
+				if err := s.step(a); err != nil {
+					return nil, err
+				}
+			}
+			if c := s.combinedResident(); c > res.PeakCombined {
+				res.PeakCombined = c
+			}
+		}
+		if !active {
+			break
+		}
+	}
+	for _, a := range s.apps {
+		r, err := a.engine.Result()
+		if err != nil {
+			return nil, err
+		}
+		res.Apps = append(res.Apps, AppResult{
+			Name:            a.Name,
+			Result:          r,
+			GlobalEvictions: r.Core.Evictions,
+		})
+		res.GlobalEvictions += r.Core.Evictions
+	}
+	return res, nil
+}

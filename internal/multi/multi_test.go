@@ -1,0 +1,193 @@
+package multi
+
+import (
+	"errors"
+	"testing"
+
+	"apbcc/internal/compress"
+	"apbcc/internal/core"
+	"apbcc/internal/sim"
+	"apbcc/internal/workloads"
+)
+
+// makeApp builds one application over a suite workload.
+func makeApp(t *testing.T, name string, kc int) *App {
+	t.Helper()
+	w, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := w.Program.CodeBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec, err := compress.New("dict", code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.NewManager(w.Program, core.Config{Codec: codec, CompressK: kc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := w.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shorten for test speed.
+	tr.Blocks = tr.Blocks[:6000]
+	return &App{Name: name, Manager: m, Trace: tr}
+}
+
+// combinedFloorAndPeak measures the apps' standalone compressed floor
+// and unconstrained combined peak.
+func combinedFloorAndPeak(t *testing.T, names []string, kc int) (floor, peak int) {
+	t.Helper()
+	for _, n := range names {
+		a := makeApp(t, n, kc)
+		floor += a.Manager.CompressedSize()
+		sys, err := NewSystem(1<<30, sim.DefaultCosts(), a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := sys.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		peak += r.Apps[0].PeakResident
+	}
+	return floor, peak
+}
+
+func TestSystemUnconstrainedMatchesStandalone(t *testing.T) {
+	// With an effectively infinite pool, the shared system must evict
+	// nothing and each app behaves as if alone.
+	a := makeApp(t, "jpegdct", 8)
+	b := makeApp(t, "adpcm", 8)
+	sys, err := NewSystem(1<<30, sim.DefaultCosts(), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GlobalEvictions != 0 {
+		t.Errorf("evictions = %d in an infinite pool", res.GlobalEvictions)
+	}
+	if len(res.Apps) != 2 {
+		t.Fatalf("apps = %d", len(res.Apps))
+	}
+	for _, ar := range res.Apps {
+		if ar.Core.Entries != 6000 {
+			t.Errorf("%s entries = %d", ar.Name, ar.Core.Entries)
+		}
+		if ar.Overhead() <= 0 {
+			t.Errorf("%s overhead = %v", ar.Name, ar.Overhead())
+		}
+	}
+	if res.PeakCombined <= 0 {
+		t.Error("no combined peak recorded")
+	}
+}
+
+func TestSystemEnforcesPool(t *testing.T) {
+	floor, peak := combinedFloorAndPeak(t, []string{"jpegdct", "adpcm"}, 8)
+	pool := floor + (peak-floor)/3 // well below the unconstrained peak
+	a := makeApp(t, "jpegdct", 8)
+	b := makeApp(t, "adpcm", 8)
+	sys, err := NewSystem(pool, sim.DefaultCosts(), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeakCombined > pool {
+		t.Errorf("combined peak %d exceeds pool %d", res.PeakCombined, pool)
+	}
+	if res.GlobalEvictions == 0 {
+		t.Error("tight pool caused no evictions")
+	}
+	// Both apps still completed correctly.
+	for _, ar := range res.Apps {
+		if ar.Core.Entries != 6000 {
+			t.Errorf("%s entries = %d", ar.Name, ar.Core.Entries)
+		}
+	}
+}
+
+func TestSystemRejectsTinyPool(t *testing.T) {
+	a := makeApp(t, "crc32", 4)
+	if _, err := NewSystem(10, sim.DefaultCosts(), a); !errors.Is(err, ErrPoolSmall) {
+		t.Errorf("err = %v, want ErrPoolSmall", err)
+	}
+}
+
+func TestSystemRejectsEmpty(t *testing.T) {
+	if _, err := NewSystem(1000, sim.DefaultCosts()); !errors.Is(err, ErrNoApps) {
+		t.Error("empty system accepted")
+	}
+}
+
+// TestDynamicBeatsStaticSplit is experiment E10's core claim: one
+// shared pool with global LRU outperforms the same total memory split
+// statically between the applications, because slack flows to whichever
+// app needs it at the moment.
+func TestDynamicBeatsStaticSplit(t *testing.T) {
+	names := []string{"jpegdct", "mpeg2motion"}
+	const kc = 8
+	floor, peak := combinedFloorAndPeak(t, names, kc)
+	pool := floor + (peak-floor)/2
+
+	// Dynamic: one shared pool.
+	a := makeApp(t, names[0], kc)
+	b := makeApp(t, names[1], kc)
+	sys, err := NewSystem(pool, sim.DefaultCosts(), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dynCycles, dynBase int64
+	for _, ar := range dyn.Apps {
+		dynCycles += ar.Cycles
+		dynBase += ar.BaseCycles
+	}
+
+	// Static: the same pool split proportionally to compressed size,
+	// enforced through each app's own budget mode.
+	var statCycles, statBase int64
+	for _, n := range names {
+		app := makeApp(t, n, kc)
+		share := app.Manager.CompressedSize() + (pool-floor)/len(names)
+		w, err := workloads.ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		code, _ := w.Program.CodeBytes()
+		codec, _ := compress.New("dict", code)
+		m, err := core.NewManager(w.Program, core.Config{
+			Codec: codec, CompressK: kc, BudgetBytes: share,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := app.Trace
+		res, err := sim.Run(m, tr, sim.DefaultCosts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		statCycles += res.Cycles
+		statBase += res.BaseCycles
+	}
+	dynOv := float64(dynCycles-dynBase) / float64(dynBase)
+	statOv := float64(statCycles-statBase) / float64(statBase)
+	t.Logf("pool=%d dynamic overhead %.1f%%, static split overhead %.1f%%",
+		pool, 100*dynOv, 100*statOv)
+	if dynOv >= statOv {
+		t.Errorf("dynamic sharing (%.3f) not better than static split (%.3f)", dynOv, statOv)
+	}
+}

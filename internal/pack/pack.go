@@ -1,0 +1,256 @@
+// Package pack defines the deployable image container of the
+// reproduction: everything a target system needs to run a program
+// under the access-pattern-based compression runtime, serialized to
+// bytes — the codec name and trained model, the CFG (blocks with sizes,
+// function labels, entry, edges with kinds and probabilities), and the
+// per-block compressed payloads. The uncompressed code never appears in
+// the container; Unpack reconstructs the program by decompressing the
+// payloads and re-deriving the instruction stream, then verifies a
+// whole-image checksum.
+//
+// Wire format (all integers uvarint unless noted, little-endian):
+//
+//	magic "APCC" | version | codec name | model | crc32 of plain image
+//	entry block | nblocks | per block: label, func, words, payload
+//	nedges | per edge: from, to, kind, prob (float64 bits, fixed64)
+package pack
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"apbcc/internal/cfg"
+	"apbcc/internal/compress"
+	"apbcc/internal/isa"
+	"apbcc/internal/program"
+)
+
+// Magic identifies a pack container.
+var Magic = []byte("APCC")
+
+// Version is the container format version.
+const Version = 1
+
+// Errors.
+var (
+	ErrBadMagic    = errors.New("pack: bad magic")
+	ErrBadVersion  = errors.New("pack: unsupported version")
+	ErrCorrupt     = errors.New("pack: corrupt container")
+	ErrBadChecksum = errors.New("pack: image checksum mismatch")
+)
+
+// Pack serializes the program with every block compressed by the
+// codec. The codec must be registered with a model unmarshaler (all
+// built-in codecs are).
+func Pack(p *program.Program, codec compress.Codec) ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	plain, err := p.CodeBytes()
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	buf.Write(Magic)
+	writeUvarint(&buf, Version)
+	writeBytes(&buf, []byte(codec.Name()))
+	writeBytes(&buf, compress.MarshalModel(codec))
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(plain))
+	buf.Write(crc[:])
+
+	g := p.Graph
+	writeUvarint(&buf, uint64(g.Entry()))
+	writeUvarint(&buf, uint64(g.NumBlocks()))
+	for _, b := range g.Blocks() {
+		writeBytes(&buf, []byte(b.Label))
+		writeBytes(&buf, []byte(b.Func))
+		writeUvarint(&buf, uint64(b.Words()))
+		img, err := p.BlockBytes(b.ID)
+		if err != nil {
+			return nil, err
+		}
+		comp, err := codec.Compress(img)
+		if err != nil {
+			return nil, fmt.Errorf("pack: block %s: %w", b, err)
+		}
+		writeBytes(&buf, comp)
+	}
+	var edges []cfg.Edge
+	for _, b := range g.Blocks() {
+		edges = append(edges, g.Succs(b.ID)...)
+	}
+	writeUvarint(&buf, uint64(len(edges)))
+	for _, e := range edges {
+		writeUvarint(&buf, uint64(e.From))
+		writeUvarint(&buf, uint64(e.To))
+		writeUvarint(&buf, uint64(e.Kind))
+		var p64 [8]byte
+		binary.LittleEndian.PutUint64(p64[:], math.Float64bits(e.Prob))
+		buf.Write(p64[:])
+	}
+	return buf.Bytes(), nil
+}
+
+// Info summarizes a container without fully unpacking it.
+type Info struct {
+	Codec           string
+	Blocks          int
+	Edges           int
+	CompressedBytes int // total payload bytes
+	PlainBytes      int // reconstructed image size
+	ContainerBytes  int
+}
+
+// Unpack reconstructs the program and its trained codec from a
+// container, verifying the image checksum.
+func Unpack(name string, data []byte) (*program.Program, compress.Codec, *Info, error) {
+	r := &reader{data: data}
+	magic := r.take(len(Magic))
+	if !bytes.Equal(magic, Magic) {
+		return nil, nil, nil, ErrBadMagic
+	}
+	if v := r.uvarint(); v != Version {
+		return nil, nil, nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	codecName := string(r.bytes())
+	model := r.bytes()
+	crcBytes := r.take(4)
+	if r.err != nil {
+		return nil, nil, nil, r.err
+	}
+	codec, err := compress.FromModel(codecName, model)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("pack: %w", err)
+	}
+	wantCRC := binary.LittleEndian.Uint32(crcBytes)
+
+	entry := cfg.BlockID(r.uvarint())
+	nblocks := int(r.uvarint())
+	if r.err != nil || nblocks <= 0 || nblocks > 1<<20 {
+		return nil, nil, nil, fmt.Errorf("%w: block count", ErrCorrupt)
+	}
+	g := cfg.New()
+	info := &Info{Codec: codecName, Blocks: nblocks, ContainerBytes: len(data)}
+	var plain []byte
+	for i := 0; i < nblocks; i++ {
+		label := string(r.bytes())
+		fn := string(r.bytes())
+		words := int(r.uvarint())
+		comp := r.bytes()
+		if r.err != nil {
+			return nil, nil, nil, r.err
+		}
+		id := g.AddBlock(label, words)
+		g.Block(id).Func = fn
+		img, err := codec.Decompress(comp)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("pack: block %d: %w", i, err)
+		}
+		if len(img) != words*isa.WordSize {
+			return nil, nil, nil, fmt.Errorf("%w: block %d decompressed to %d bytes, want %d",
+				ErrCorrupt, i, len(img), words*isa.WordSize)
+		}
+		info.CompressedBytes += len(comp)
+		plain = append(plain, img...)
+	}
+	if err := g.SetEntry(entry); err != nil {
+		return nil, nil, nil, fmt.Errorf("%w: entry %d", ErrCorrupt, entry)
+	}
+	nedges := int(r.uvarint())
+	if r.err != nil || nedges < 0 || nedges > 1<<22 {
+		return nil, nil, nil, fmt.Errorf("%w: edge count", ErrCorrupt)
+	}
+	for i := 0; i < nedges; i++ {
+		from := cfg.BlockID(r.uvarint())
+		to := cfg.BlockID(r.uvarint())
+		kind := cfg.EdgeKind(r.uvarint())
+		p64 := r.take(8)
+		if r.err != nil {
+			return nil, nil, nil, r.err
+		}
+		prob := math.Float64frombits(binary.LittleEndian.Uint64(p64))
+		if err := g.AddEdge(from, to, kind, prob); err != nil {
+			return nil, nil, nil, fmt.Errorf("%w: edge %d: %v", ErrCorrupt, i, err)
+		}
+	}
+	info.PlainBytes = len(plain)
+
+	if got := crc32.ChecksumIEEE(plain); got != wantCRC {
+		return nil, nil, nil, fmt.Errorf("%w: %#x != %#x", ErrBadChecksum, got, wantCRC)
+	}
+	words, err := isa.BytesToWords(plain)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("pack: %w", err)
+	}
+	ins, err := isa.DecodeAll(words)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("pack: %w", err)
+	}
+	// Re-derive block word ranges from the serialized sizes.
+	offset := 0
+	for _, b := range g.Blocks() {
+		w := b.Words()
+		b.Start = offset
+		b.End = offset + w
+		offset += w
+	}
+	p := &program.Program{Name: name, Graph: g, Ins: ins}
+	if err := p.Validate(); err != nil {
+		return nil, nil, nil, fmt.Errorf("pack: reconstructed program invalid: %w", err)
+	}
+	return p, codec, info, nil
+}
+
+// --- primitive readers/writers ---------------------------------------
+
+func writeUvarint(buf *bytes.Buffer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	buf.Write(tmp[:n])
+}
+
+func writeBytes(buf *bytes.Buffer, b []byte) {
+	writeUvarint(buf, uint64(len(b)))
+	buf.Write(b)
+}
+
+type reader struct {
+	data []byte
+	err  error
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(r.data) {
+		r.err = fmt.Errorf("%w: truncated", ErrCorrupt)
+		return nil
+	}
+	out := r.data[:n]
+	r.data = r.data[n:]
+	return out
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data)
+	if n <= 0 {
+		r.err = fmt.Errorf("%w: bad uvarint", ErrCorrupt)
+		return 0
+	}
+	r.data = r.data[n:]
+	return v
+}
+
+func (r *reader) bytes() []byte {
+	n := r.uvarint()
+	return r.take(int(n))
+}

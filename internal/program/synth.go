@@ -1,0 +1,134 @@
+package program
+
+import (
+	"fmt"
+	"math/rand"
+
+	"apbcc/internal/cfg"
+	"apbcc/internal/isa"
+)
+
+// Synthesize produces a real ERI32 Program from an annotated CFG whose
+// blocks carry only sizes: each block is filled with a deterministic
+// instruction body and terminated with branch/jump instructions
+// implementing its out-edges. Blocks are laid out in ID order. The seed
+// varies the filler mix, so different workloads train different
+// dictionaries while remaining fully reproducible.
+//
+// A block needs enough words for its terminators: out-degree 0 and 1
+// need one word (halt / j), out-degree m ≥ 2 needs m words (m−1
+// conditional branches plus a final jump).
+func Synthesize(name string, g *cfg.Graph, seed int64) (*Program, error) {
+	clone := g.Clone()
+	// Layout: block i starts after all lower-ID blocks.
+	offset := 0
+	starts := make([]int, clone.NumBlocks())
+	for _, b := range clone.Blocks() {
+		words := b.Words()
+		if words < 1 {
+			return nil, fmt.Errorf("program %s: block %s has %d words", name, b, words)
+		}
+		need := termWords(len(clone.Succs(b.ID)))
+		if words < need {
+			return nil, fmt.Errorf("program %s: block %s has %d words but needs %d for its %d out-edges",
+				name, b, words, need, len(clone.Succs(b.ID)))
+		}
+		starts[b.ID] = offset
+		b.Start = offset
+		b.End = offset + words
+		offset += words
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	ins := make([]isa.Instruction, 0, offset)
+	for _, b := range clone.Blocks() {
+		succs := clone.Succs(b.ID)
+		body := b.Words() - termWords(len(succs))
+		for i := 0; i < body; i++ {
+			ins = append(ins, filler(rng, int(b.ID), i))
+		}
+		term, err := terminators(succs, starts, b.End, int(b.ID))
+		if err != nil {
+			return nil, fmt.Errorf("program %s: block %s: %w", name, b, err)
+		}
+		ins = append(ins, term...)
+	}
+	p := &Program{Name: name, Graph: clone, Ins: ins}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// termWords returns how many instruction words the terminator sequence
+// for the given out-degree occupies.
+func termWords(outDegree int) int {
+	switch {
+	case outDegree <= 1:
+		return 1
+	default:
+		return outDegree
+	}
+}
+
+// terminators emits the control-transfer sequence implementing the
+// block's out-edges. The edge annotated EdgeTaken (or the first edge)
+// is encoded as the conditional branch in the two-successor case,
+// matching how compilers lay out if-else arms.
+func terminators(succs []cfg.Edge, starts []int, end int, blockID int) ([]isa.Instruction, error) {
+	cond := isa.Reg(1 + blockID%8)
+	switch len(succs) {
+	case 0:
+		return []isa.Instruction{{Op: isa.OpHALT}}, nil
+	case 1:
+		return []isa.Instruction{{Op: isa.OpJ, Imm: int32(starts[succs[0].To])}}, nil
+	default:
+		// Put the EdgeTaken successor first so it gets the branch.
+		ordered := append([]cfg.Edge(nil), succs...)
+		for i, e := range ordered {
+			if e.Kind == cfg.EdgeTaken && i != 0 {
+				ordered[0], ordered[i] = ordered[i], ordered[0]
+				break
+			}
+		}
+		out := make([]isa.Instruction, 0, len(ordered))
+		pc := end - len(ordered)
+		for _, e := range ordered[:len(ordered)-1] {
+			br := isa.Instruction{Op: isa.OpBNE, Rs1: cond, Rs2: 0}
+			br, err := br.WithTarget(pc, starts[e.To])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, br)
+			pc++
+		}
+		last := ordered[len(ordered)-1]
+		out = append(out, isa.Instruction{Op: isa.OpJ, Imm: int32(starts[last.To])})
+		return out, nil
+	}
+}
+
+// filler produces one body instruction. The pool is small and repeats
+// across blocks, giving the word-level redundancy real compiled code
+// exhibits (which the dictionary codec exploits).
+func filler(rng *rand.Rand, blockID, i int) isa.Instruction {
+	r := func(n int) isa.Reg { return isa.Reg(1 + (blockID+n)%12) }
+	switch rng.Intn(10) {
+	case 0, 1:
+		return isa.Instruction{Op: isa.OpADD, Rd: r(i), Rs1: r(i + 1), Rs2: r(i + 2)}
+	case 2, 3:
+		return isa.Instruction{Op: isa.OpADDI, Rd: r(i), Rs1: r(i), Imm: int32(rng.Intn(8))}
+	case 4:
+		return isa.Instruction{Op: isa.OpLW, Rd: r(i), Rs1: 29, Imm: int32(4 * rng.Intn(16))}
+	case 5:
+		return isa.Instruction{Op: isa.OpSW, Rd: r(i), Rs1: 29, Imm: int32(4 * rng.Intn(16))}
+	case 6:
+		return isa.Instruction{Op: isa.OpMUL, Rd: r(i), Rs1: r(i + 3), Rs2: r(i + 1)}
+	case 7:
+		return isa.Instruction{Op: isa.OpXOR, Rd: r(i), Rs1: r(i), Rs2: r(i + 5)}
+	case 8:
+		return isa.Instruction{Op: isa.OpSLL, Rd: r(i), Rs1: r(i), Rs2: r(i + 2)}
+	default:
+		return isa.Instruction{Op: isa.OpSLT, Rd: r(i), Rs1: r(i + 1), Rs2: r(i + 4)}
+	}
+}

@@ -1,0 +1,75 @@
+package rt
+
+import (
+	"testing"
+
+	"apbcc/internal/compress"
+	"apbcc/internal/core"
+	"apbcc/internal/sim"
+	"apbcc/internal/trace"
+	"apbcc/internal/workloads"
+)
+
+// TestPolicyStatsMatchSimulator runs the same trace through the
+// deterministic simulator and the concurrent goroutine runtime and
+// compares the Manager's policy-level counters. Both drive EnterBlock
+// in the identical order, and the policy treats issued copies as live,
+// so every counter except PrefetchHits (which depends on real
+// completion timing) must match exactly — a strong cross-validation of
+// the two execution paths.
+func TestPolicyStatsMatchSimulator(t *testing.T) {
+	for _, name := range []string{"crc32", "jpegdct", "mpeg2motion"} {
+		for _, strat := range []core.Strategy{core.OnDemand, core.PreAll} {
+			name, strat := name, strat
+			t.Run(name+"/"+strat.String(), func(t *testing.T) {
+				w, err := workloads.ByName(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				code, err := w.Program.CodeBytes()
+				if err != nil {
+					t.Fatal(err)
+				}
+				codec, err := compress.New("dict", code)
+				if err != nil {
+					t.Fatal(err)
+				}
+				conf := core.Config{Codec: codec, CompressK: 4, Strategy: strat}
+				if strat != core.OnDemand {
+					conf.DecompressK = 2
+				}
+				tr, err := trace.Generate(w.Program.Graph,
+					trace.GenConfig{Seed: w.Seed, MaxSteps: 4000, Restart: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				mSim, err := core.NewManager(w.Program, conf)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := sim.Run(mSim, tr, sim.DefaultCosts()); err != nil {
+					t.Fatal(err)
+				}
+				simStats := mSim.Stats()
+
+				mRT, err := core.NewManager(w.Program, conf)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r := New(mRT, codec)
+				if _, err := r.Execute(tr); err != nil {
+					t.Fatal(err)
+				}
+				rtStats := mRT.Stats()
+
+				// PrefetchHits is timing-dependent; normalize it away.
+				simStats.PrefetchHits = 0
+				rtStats.PrefetchHits = 0
+				if simStats != rtStats {
+					t.Errorf("policy stats diverge:\n sim: %+v\n rt:  %+v", simStats, rtStats)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package rt
+
+import (
+	"testing"
+
+	"apbcc/internal/compress"
+	"apbcc/internal/core"
+	"apbcc/internal/trace"
+	"apbcc/internal/workloads"
+)
+
+// buildRuntime assembles a manager + runtime for a workload.
+func buildRuntime(t *testing.T, name string, tweak func(*core.Config)) (*Runtime, *workloads.Workload) {
+	t.Helper()
+	w, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := w.Program.CodeBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec, err := compress.New("dict", code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf := core.Config{Codec: codec, CompressK: 4, Strategy: core.OnDemand}
+	if tweak != nil {
+		tweak(&conf)
+	}
+	m, err := core.NewManager(w.Program, conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(m, codec), w
+}
+
+func shortTrace(t *testing.T, w *workloads.Workload, steps int) *trace.Trace {
+	t.Helper()
+	tr, err := trace.Generate(w.Program.Graph, trace.GenConfig{Seed: w.Seed, MaxSteps: steps, Restart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestConcurrentOnDemand(t *testing.T) {
+	r, w := buildRuntime(t, "crc32", nil)
+	tr := shortTrace(t, w, 3000)
+	s, err := r.Execute(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Blocks != tr.Len() {
+		t.Errorf("executed %d of %d blocks", s.Blocks, tr.Len())
+	}
+	if s.Verified != s.Blocks {
+		t.Errorf("verified %d of %d", s.Verified, s.Blocks)
+	}
+	if s.DemandDecompressions == 0 {
+		t.Error("no demand decompressions under on-demand")
+	}
+	if s.BackgroundDecompressions != 0 {
+		t.Error("background decompressions under on-demand")
+	}
+}
+
+func TestConcurrentPreAll(t *testing.T) {
+	r, w := buildRuntime(t, "mpeg2motion", func(c *core.Config) {
+		c.Strategy = core.PreAll
+		c.DecompressK = 3
+	})
+	tr := shortTrace(t, w, 3000)
+	s, err := r.Execute(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.BackgroundDecompressions == 0 {
+		t.Error("pre-all produced no background decompressions")
+	}
+	if s.BackgroundDeletes == 0 {
+		t.Error("compression thread never ran")
+	}
+	if s.Verified != tr.Len() {
+		t.Errorf("verified %d of %d", s.Verified, tr.Len())
+	}
+}
+
+func TestConcurrentPreSingle(t *testing.T) {
+	w, err := workloads.ByName("dijkstra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := w.Program.CodeBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec, err := compress.New("dict", code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.NewManager(w.Program, core.Config{
+		Codec:       codec,
+		CompressK:   4,
+		Strategy:    core.PreSingle,
+		DecompressK: 2,
+		Predictor:   trace.NewMarkov(w.Program.Graph),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(m, codec)
+	tr := shortTrace(t, w, 3000)
+	s, err := r.Execute(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Verified != tr.Len() {
+		t.Errorf("verified %d of %d", s.Verified, tr.Len())
+	}
+}
+
+func TestConcurrentWriteback(t *testing.T) {
+	r, w := buildRuntime(t, "fft", func(c *core.Config) {
+		c.CompressK = 2
+		c.WritebackCompression = true
+		c.ManagedBytes = 1 << 20
+	})
+	tr := shortTrace(t, w, 2000)
+	s, err := r.Execute(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.BackgroundDeletes == 0 {
+		t.Error("writeback jobs never completed")
+	}
+}
+
+func TestConcurrentAllWorkloads(t *testing.T) {
+	for _, name := range workloads.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			r, w := buildRuntime(t, name, func(c *core.Config) {
+				c.Strategy = core.PreAll
+				c.DecompressK = 2
+			})
+			tr := shortTrace(t, w, 1500)
+			s, err := r.Execute(tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.Verified != tr.Len() {
+				t.Errorf("verified %d of %d", s.Verified, tr.Len())
+			}
+		})
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	r, _ := buildRuntime(t, "crc32", nil)
+	r.Close()
+	r.Close()
+}

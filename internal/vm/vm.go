@@ -1,0 +1,327 @@
+// Package vm interprets ERI32 programs: a 32-register CPU with a
+// Harvard memory layout (instruction fetch from a code image, loads and
+// stores against a separate data memory). The interpreter executes the
+// real instruction semantics, so programs compute real results — the
+// substrate that lets the reproduction verify end-to-end that code run
+// under the compression runtime behaves exactly like code run from a
+// plain image, and that lets real executions (rather than probabilistic
+// walks) produce the block access patterns the runtime consumes.
+//
+// The VM is deliberately simple: no pipeline, no MMU; one instruction
+// per Step. Control-flow hooks let a caller observe every taken
+// transfer, which is how internal/machine drives the compression
+// runtime.
+package vm
+
+import (
+	"errors"
+	"fmt"
+
+	"apbcc/internal/isa"
+)
+
+// Default memory sizing.
+const (
+	// DefaultDataSize is the data memory size in bytes.
+	DefaultDataSize = 1 << 16
+	// DefaultMaxSteps bounds Run against runaway programs.
+	DefaultMaxSteps = 10_000_000
+)
+
+// Execution errors.
+var (
+	ErrHalted     = errors.New("vm: halted")
+	ErrPCRange    = errors.New("vm: PC outside code image")
+	ErrDataRange  = errors.New("vm: data access out of range")
+	ErrAlign      = errors.New("vm: misaligned data access")
+	ErrDivZero    = errors.New("vm: division by zero")
+	ErrMaxSteps   = errors.New("vm: step budget exhausted")
+	ErrBadSyscall = errors.New("vm: unknown syscall")
+)
+
+// Syscall numbers for the sys instruction.
+const (
+	// SysPutInt appends the value of r4 to the VM's output log.
+	SysPutInt = 1
+	// SysPutChar appends the low byte of r4 to the VM's output text.
+	SysPutChar = 2
+)
+
+// CPU is one ERI32 hardware thread plus its data memory.
+type CPU struct {
+	Regs [isa.NumRegs]int32
+	PC   int // word index into the code image
+
+	code []isa.Instruction
+	data []byte
+
+	// Steps counts executed instructions.
+	Steps int64
+	// OutInts collects SysPutInt values; OutText collects SysPutChar
+	// bytes.
+	OutInts []int32
+	OutText []byte
+
+	// OnTransfer, when non-nil, is called for every control transfer
+	// that actually redirects the PC (taken branches, jumps, calls,
+	// indirect jumps), with the word index of the instruction and the
+	// target word index.
+	OnTransfer func(fromPC, toPC int)
+
+	halted bool
+}
+
+// New builds a CPU over a decoded code image with a data memory of
+// dataSize bytes (DefaultDataSize if 0).
+func New(code []isa.Instruction, dataSize int) *CPU {
+	if dataSize <= 0 {
+		dataSize = DefaultDataSize
+	}
+	return &CPU{code: code, data: make([]byte, dataSize)}
+}
+
+// Data exposes the data memory (e.g. to preload inputs).
+func (c *CPU) Data() []byte { return c.data }
+
+// Halted reports whether the CPU has executed halt.
+func (c *CPU) Halted() bool { return c.halted }
+
+// reg reads a register; r0 is hardwired to zero.
+func (c *CPU) reg(r isa.Reg) int32 {
+	if r == 0 {
+		return 0
+	}
+	return c.Regs[r]
+}
+
+// setReg writes a register; writes to r0 are discarded.
+func (c *CPU) setReg(r isa.Reg, v int32) {
+	if r != 0 {
+		c.Regs[r] = v
+	}
+}
+
+// Step executes one instruction. It returns ErrHalted once the program
+// has executed halt.
+func (c *CPU) Step() error {
+	if c.halted {
+		return ErrHalted
+	}
+	if c.PC < 0 || c.PC >= len(c.code) {
+		return fmt.Errorf("%w: %d", ErrPCRange, c.PC)
+	}
+	in := c.code[c.PC]
+	next := c.PC + 1
+	transferred := false
+
+	switch in.Op {
+	case isa.OpADD:
+		c.setReg(in.Rd, c.reg(in.Rs1)+c.reg(in.Rs2))
+	case isa.OpSUB:
+		c.setReg(in.Rd, c.reg(in.Rs1)-c.reg(in.Rs2))
+	case isa.OpAND:
+		c.setReg(in.Rd, c.reg(in.Rs1)&c.reg(in.Rs2))
+	case isa.OpOR:
+		c.setReg(in.Rd, c.reg(in.Rs1)|c.reg(in.Rs2))
+	case isa.OpXOR:
+		c.setReg(in.Rd, c.reg(in.Rs1)^c.reg(in.Rs2))
+	case isa.OpNOR:
+		c.setReg(in.Rd, ^(c.reg(in.Rs1) | c.reg(in.Rs2)))
+	case isa.OpSLL:
+		c.setReg(in.Rd, c.reg(in.Rs1)<<(uint32(c.reg(in.Rs2))&31))
+	case isa.OpSRL:
+		c.setReg(in.Rd, int32(uint32(c.reg(in.Rs1))>>(uint32(c.reg(in.Rs2))&31)))
+	case isa.OpSRA:
+		c.setReg(in.Rd, c.reg(in.Rs1)>>(uint32(c.reg(in.Rs2))&31))
+	case isa.OpSLT:
+		c.setReg(in.Rd, boolToInt(c.reg(in.Rs1) < c.reg(in.Rs2)))
+	case isa.OpSLTU:
+		c.setReg(in.Rd, boolToInt(uint32(c.reg(in.Rs1)) < uint32(c.reg(in.Rs2))))
+	case isa.OpMUL:
+		c.setReg(in.Rd, c.reg(in.Rs1)*c.reg(in.Rs2))
+	case isa.OpDIV:
+		if c.reg(in.Rs2) == 0 {
+			return fmt.Errorf("%w at pc %d", ErrDivZero, c.PC)
+		}
+		c.setReg(in.Rd, c.reg(in.Rs1)/c.reg(in.Rs2))
+	case isa.OpREM:
+		if c.reg(in.Rs2) == 0 {
+			return fmt.Errorf("%w at pc %d", ErrDivZero, c.PC)
+		}
+		c.setReg(in.Rd, c.reg(in.Rs1)%c.reg(in.Rs2))
+
+	case isa.OpADDI:
+		c.setReg(in.Rd, c.reg(in.Rs1)+in.Imm)
+	case isa.OpANDI:
+		c.setReg(in.Rd, c.reg(in.Rs1)&in.Imm)
+	case isa.OpORI:
+		c.setReg(in.Rd, c.reg(in.Rs1)|in.Imm)
+	case isa.OpXORI:
+		c.setReg(in.Rd, c.reg(in.Rs1)^in.Imm)
+	case isa.OpSLTI:
+		c.setReg(in.Rd, boolToInt(c.reg(in.Rs1) < in.Imm))
+	case isa.OpLUI:
+		c.setReg(in.Rd, in.Imm<<16)
+
+	case isa.OpLW:
+		v, err := c.load(in, 4)
+		if err != nil {
+			return err
+		}
+		c.setReg(in.Rd, int32(v))
+	case isa.OpLH:
+		v, err := c.load(in, 2)
+		if err != nil {
+			return err
+		}
+		c.setReg(in.Rd, int32(int16(v)))
+	case isa.OpLB:
+		v, err := c.load(in, 1)
+		if err != nil {
+			return err
+		}
+		c.setReg(in.Rd, int32(int8(v)))
+	case isa.OpSW:
+		if err := c.store(in, 4); err != nil {
+			return err
+		}
+	case isa.OpSH:
+		if err := c.store(in, 2); err != nil {
+			return err
+		}
+	case isa.OpSB:
+		if err := c.store(in, 1); err != nil {
+			return err
+		}
+
+	case isa.OpBEQ:
+		transferred = c.branch(in, &next, c.reg(in.Rs1) == c.reg(in.Rs2))
+	case isa.OpBNE:
+		transferred = c.branch(in, &next, c.reg(in.Rs1) != c.reg(in.Rs2))
+	case isa.OpBLT:
+		transferred = c.branch(in, &next, c.reg(in.Rs1) < c.reg(in.Rs2))
+	case isa.OpBGE:
+		transferred = c.branch(in, &next, c.reg(in.Rs1) >= c.reg(in.Rs2))
+	case isa.OpBLTU:
+		transferred = c.branch(in, &next, uint32(c.reg(in.Rs1)) < uint32(c.reg(in.Rs2)))
+	case isa.OpBGEU:
+		transferred = c.branch(in, &next, uint32(c.reg(in.Rs1)) >= uint32(c.reg(in.Rs2)))
+
+	case isa.OpJ:
+		next = int(in.Imm)
+		transferred = true
+	case isa.OpJAL:
+		c.setReg(31, int32(c.PC+1))
+		next = int(in.Imm)
+		transferred = true
+	case isa.OpJR:
+		next = int(c.reg(in.Rs1))
+		transferred = true
+	case isa.OpJALR:
+		c.setReg(in.Rd, int32(c.PC+1))
+		next = int(c.reg(in.Rs1))
+		transferred = true
+
+	case isa.OpNOP:
+	case isa.OpHALT:
+		c.halted = true
+		c.Steps++
+		return nil
+	case isa.OpSYS:
+		switch in.Imm {
+		case SysPutInt:
+			c.OutInts = append(c.OutInts, c.reg(4))
+		case SysPutChar:
+			c.OutText = append(c.OutText, byte(c.reg(4)))
+		default:
+			return fmt.Errorf("%w: %d at pc %d", ErrBadSyscall, in.Imm, c.PC)
+		}
+	default:
+		return fmt.Errorf("vm: unimplemented opcode %v at pc %d", in.Op, c.PC)
+	}
+
+	if transferred && c.OnTransfer != nil {
+		c.OnTransfer(c.PC, next)
+	}
+	c.PC = next
+	c.Steps++
+	return nil
+}
+
+// branch resolves a conditional branch, returning whether it was taken.
+func (c *CPU) branch(in isa.Instruction, next *int, taken bool) bool {
+	if !taken {
+		return false
+	}
+	tgt, _ := in.StaticTarget(c.PC)
+	*next = tgt
+	return true
+}
+
+// addr computes and checks a data address.
+func (c *CPU) addr(in isa.Instruction, size int) (int, error) {
+	a := int(c.reg(in.Rs1) + in.Imm)
+	if a < 0 || a+size > len(c.data) {
+		return 0, fmt.Errorf("%w: %d at pc %d", ErrDataRange, a, c.PC)
+	}
+	if a%size != 0 {
+		return 0, fmt.Errorf("%w: %d (size %d) at pc %d", ErrAlign, a, size, c.PC)
+	}
+	return a, nil
+}
+
+func (c *CPU) load(in isa.Instruction, size int) (uint32, error) {
+	a, err := c.addr(in, size)
+	if err != nil {
+		return 0, err
+	}
+	switch size {
+	case 1:
+		return uint32(c.data[a]), nil
+	case 2:
+		return uint32(isa.ByteOrder.Uint16(c.data[a:])), nil
+	default:
+		return isa.ByteOrder.Uint32(c.data[a:]), nil
+	}
+}
+
+func (c *CPU) store(in isa.Instruction, size int) error {
+	a, err := c.addr(in, size)
+	if err != nil {
+		return err
+	}
+	v := uint32(c.reg(in.Rd))
+	switch size {
+	case 1:
+		c.data[a] = byte(v)
+	case 2:
+		isa.ByteOrder.PutUint16(c.data[a:], uint16(v))
+	default:
+		isa.ByteOrder.PutUint32(c.data[a:], v)
+	}
+	return nil
+}
+
+// Run steps until halt, an error, or maxSteps instructions
+// (DefaultMaxSteps if 0).
+func (c *CPU) Run(maxSteps int64) error {
+	if maxSteps <= 0 {
+		maxSteps = DefaultMaxSteps
+	}
+	for !c.halted {
+		if c.Steps >= maxSteps {
+			return fmt.Errorf("%w (%d)", ErrMaxSteps, maxSteps)
+		}
+		if err := c.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func boolToInt(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
+}

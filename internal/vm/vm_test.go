@@ -1,0 +1,314 @@
+package vm
+
+import (
+	"errors"
+	"testing"
+
+	"apbcc/internal/asm"
+	"apbcc/internal/isa"
+)
+
+// run assembles, executes and returns the CPU.
+func run(t *testing.T, src string) *CPU {
+	t.Helper()
+	c := load(t, src)
+	if err := c.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return c
+}
+
+func load(t *testing.T, src string) *CPU {
+	t.Helper()
+	r, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, err := isa.DecodeAll(r.Words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(ins, 0)
+}
+
+func TestArithmetic(t *testing.T) {
+	c := run(t, `
+		addi r1, r0, 6
+		addi r2, r0, 7
+		mul  r3, r1, r2     ; 42
+		sub  r4, r3, r1     ; 36
+		div  r5, r4, r2     ; 5
+		rem  r6, r4, r2     ; 1
+		halt
+	`)
+	want := map[isa.Reg]int32{3: 42, 4: 36, 5: 5, 6: 1}
+	for r, v := range want {
+		if c.Regs[r] != v {
+			t.Errorf("r%d = %d, want %d", r, c.Regs[r], v)
+		}
+	}
+}
+
+func TestLogicAndShifts(t *testing.T) {
+	c := run(t, `
+		addi r1, r0, 0x0ff0
+		addi r2, r0, 0x00ff
+		and  r3, r1, r2     ; 0x00f0
+		or   r4, r1, r2     ; 0x0fff
+		xor  r5, r1, r2     ; 0x0f0f
+		nor  r6, r0, r0     ; -1
+		addi r7, r0, 4
+		sll  r8, r2, r7     ; 0x0ff0
+		srl  r9, r1, r7     ; 0x00ff
+		addi r10, r0, -16
+		sra  r11, r10, r7   ; -1
+		halt
+	`)
+	checks := map[isa.Reg]int32{
+		3: 0x00f0, 4: 0x0fff, 5: 0x0f0f, 6: -1, 8: 0x0ff0, 9: 0x00ff, 11: -1,
+	}
+	for r, v := range checks {
+		if c.Regs[r] != v {
+			t.Errorf("r%d = %#x, want %#x", r, c.Regs[r], v)
+		}
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	c := run(t, `
+		addi r1, r0, -5
+		addi r2, r0, 3
+		slt  r3, r1, r2   ; 1 (signed)
+		sltu r4, r1, r2   ; 0 (unsigned: big > 3)
+		slti r5, r2, 10   ; 1
+		halt
+	`)
+	if c.Regs[3] != 1 || c.Regs[4] != 0 || c.Regs[5] != 1 {
+		t.Errorf("slt=%d sltu=%d slti=%d", c.Regs[3], c.Regs[4], c.Regs[5])
+	}
+}
+
+func TestR0IsZero(t *testing.T) {
+	c := run(t, `
+		addi r0, r0, 99
+		add  r1, r0, r0
+		halt
+	`)
+	if c.Regs[0] != 0 || c.Regs[1] != 0 {
+		t.Error("r0 not hardwired to zero")
+	}
+}
+
+func TestLoadsStores(t *testing.T) {
+	c := run(t, `
+		addi r1, r0, 0x1234
+		sw   r1, 0(r0)
+		lw   r2, 0(r0)
+		sh   r1, 8(r0)
+		lh   r3, 8(r0)
+		sb   r1, 12(r0)
+		lb   r4, 12(r0)
+		addi r5, r0, -1
+		sb   r5, 13(r0)
+		lb   r6, 13(r0)    ; sign-extended -1
+		halt
+	`)
+	if c.Regs[2] != 0x1234 || c.Regs[3] != 0x1234 || c.Regs[4] != 0x34 {
+		t.Errorf("lw=%#x lh=%#x lb=%#x", c.Regs[2], c.Regs[3], c.Regs[4])
+	}
+	if c.Regs[6] != -1 {
+		t.Errorf("signed lb = %d, want -1", c.Regs[6])
+	}
+}
+
+func TestLUI(t *testing.T) {
+	c := run(t, `
+		lui  r1, 2
+		ori  r1, r1, 5
+		halt
+	`)
+	if c.Regs[1] != 2<<16|5 {
+		t.Errorf("lui+ori = %#x", c.Regs[1])
+	}
+}
+
+func TestBranchesAndLoop(t *testing.T) {
+	c := run(t, `
+		; sum 1..10
+		addi r1, r0, 10
+		addi r2, r0, 0
+	loop:
+		add  r2, r2, r1
+		addi r1, r1, -1
+		bne  r1, r0, loop
+		halt
+	`)
+	if c.Regs[2] != 55 {
+		t.Errorf("sum = %d, want 55", c.Regs[2])
+	}
+}
+
+func TestUnsignedBranches(t *testing.T) {
+	c := run(t, `
+		addi r1, r0, -1     ; 0xffffffff unsigned
+		addi r2, r0, 1
+		bltu r2, r1, a      ; 1 < huge: taken
+		addi r3, r0, 111
+	a:
+		bgeu r1, r2, b      ; huge >= 1: taken
+		addi r4, r0, 222
+	b:
+		halt
+	`)
+	if c.Regs[3] != 0 || c.Regs[4] != 0 {
+		t.Errorf("unsigned branches not taken: r3=%d r4=%d", c.Regs[3], c.Regs[4])
+	}
+}
+
+func TestCallReturn(t *testing.T) {
+	c := run(t, `
+		main:
+			addi r4, r0, 5
+			jal  double
+			add  r10, r0, r4   ; r10 = 10
+			jal  double
+			add  r11, r0, r4   ; r11 = 20
+			halt
+		double:
+			add  r4, r4, r4
+			jr   r31
+	`)
+	if c.Regs[10] != 10 || c.Regs[11] != 20 {
+		t.Errorf("r10=%d r11=%d", c.Regs[10], c.Regs[11])
+	}
+}
+
+func TestJALR(t *testing.T) {
+	c := run(t, `
+		addi r1, r0, target
+		jalr r2, r1
+		halt
+	target:
+		addi r3, r0, 9
+		halt
+	`)
+	if c.Regs[3] != 9 {
+		t.Errorf("jalr did not reach target: r3=%d", c.Regs[3])
+	}
+	if c.Regs[2] != 2 {
+		t.Errorf("jalr link = %d, want 2", c.Regs[2])
+	}
+}
+
+func TestSyscalls(t *testing.T) {
+	c := run(t, `
+		addi r4, r0, 42
+		sys  1
+		addi r4, r0, 'H'
+		sys  2
+		addi r4, r0, 'i'
+		sys  2
+		halt
+	`)
+	if len(c.OutInts) != 1 || c.OutInts[0] != 42 {
+		t.Errorf("OutInts = %v", c.OutInts)
+	}
+	if string(c.OutText) != "Hi" {
+		t.Errorf("OutText = %q", c.OutText)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want error
+	}{
+		{"div zero", "div r1, r2, r0\nhalt", ErrDivZero},
+		{"rem zero", "rem r1, r2, r0\nhalt", ErrDivZero},
+		{"data range", "lw r1, -4(r0)\nhalt", ErrDataRange},
+		{"misaligned", "addi r1, r0, 2\nlw r2, 0(r1)\nhalt", ErrAlign},
+		{"bad syscall", "sys 99\nhalt", ErrBadSyscall},
+		{"pc range", "addi r1, r0, 1000\njr r1\nhalt", ErrPCRange},
+	}
+	for _, cse := range cases {
+		t.Run(cse.name, func(t *testing.T) {
+			c := load(t, cse.src)
+			err := c.Run(0)
+			if !errors.Is(err, cse.want) {
+				t.Errorf("err = %v, want %v", err, cse.want)
+			}
+		})
+	}
+}
+
+func TestRunOffEndOfImage(t *testing.T) {
+	c := load(t, "nop")
+	err := c.Run(0)
+	if !errors.Is(err, ErrPCRange) {
+		t.Errorf("err = %v, want ErrPCRange", err)
+	}
+}
+
+func TestMaxSteps(t *testing.T) {
+	c := load(t, "loop: j loop")
+	if err := c.Run(100); !errors.Is(err, ErrMaxSteps) {
+		t.Errorf("err = %v, want ErrMaxSteps", err)
+	}
+}
+
+func TestHaltedIsSticky(t *testing.T) {
+	c := run(t, "halt")
+	if !c.Halted() {
+		t.Fatal("not halted")
+	}
+	if err := c.Step(); !errors.Is(err, ErrHalted) {
+		t.Errorf("step after halt = %v", err)
+	}
+}
+
+func TestOnTransferHook(t *testing.T) {
+	c := load(t, `
+		addi r1, r0, 2
+	loop:
+		addi r1, r1, -1
+		bne  r1, r0, loop
+		j    done
+		nop
+	done:
+		halt
+	`)
+	var transfers [][2]int
+	c.OnTransfer = func(from, to int) { transfers = append(transfers, [2]int{from, to}) }
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	// Taken: bne once (2 -> 1 loop back), then j done. The final bne
+	// falls through (not a transfer).
+	if len(transfers) != 2 {
+		t.Fatalf("transfers = %v", transfers)
+	}
+	if transfers[0] != [2]int{2, 1} {
+		t.Errorf("first transfer = %v", transfers[0])
+	}
+	if transfers[1][1] != 5 {
+		t.Errorf("second transfer = %v", transfers[1])
+	}
+}
+
+func TestDataPreload(t *testing.T) {
+	c := load(t, `
+		lw r1, 0(r0)
+		lw r2, 4(r0)
+		add r3, r1, r2
+		halt
+	`)
+	isa.ByteOrder.PutUint32(c.Data()[0:], 40)
+	isa.ByteOrder.PutUint32(c.Data()[4:], 2)
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if c.Regs[3] != 42 {
+		t.Errorf("r3 = %d", c.Regs[3])
+	}
+}

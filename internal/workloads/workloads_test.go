@@ -1,0 +1,197 @@
+package workloads
+
+import (
+	"testing"
+
+	"apbcc/internal/trace"
+)
+
+func TestSuiteBuilds(t *testing.T) {
+	all, err := Suite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 9 {
+		t.Fatalf("suite size = %d, want 9", len(all))
+	}
+	seen := map[string]bool{}
+	for _, w := range all {
+		if seen[w.Name] {
+			t.Errorf("duplicate workload %s", w.Name)
+		}
+		seen[w.Name] = true
+		if w.Desc == "" {
+			t.Errorf("%s: empty description", w.Name)
+		}
+		if err := w.Program.Validate(); err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+		}
+		if w.Program.TotalBytes() < 100 {
+			t.Errorf("%s: implausibly small program (%d bytes)", w.Name, w.Program.TotalBytes())
+		}
+	}
+}
+
+func TestSuiteDeterministic(t *testing.T) {
+	a, err := Suite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Suite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		ai, bi := a[i].Program.Ins, b[i].Program.Ins
+		if len(ai) != len(bi) {
+			t.Fatalf("%s: image size differs", a[i].Name)
+		}
+		for j := range ai {
+			if ai[j] != bi[j] {
+				t.Fatalf("%s: instruction %d differs between builds", a[i].Name, j)
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	w, err := ByName("crc32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != "crc32" {
+		t.Error("wrong workload")
+	}
+	if _, err := ByName("quake3"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestNames(t *testing.T) {
+	names := Names()
+	if len(names) != 9 {
+		t.Fatalf("names = %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Error("names not sorted")
+		}
+	}
+}
+
+func TestTracesAreValidAndLong(t *testing.T) {
+	all, err := Suite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range all {
+		tr, err := w.Trace()
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if err := tr.Validate(w.Program.Graph); err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+		}
+		// The canonical trace should be substantial: either it hit the
+		// cap or ran at least a few hundred blocks before the program
+		// exited.
+		if tr.Len() < 500 {
+			t.Errorf("%s: canonical trace only %d blocks", w.Name, tr.Len())
+		}
+	}
+}
+
+func TestAccessPatternClasses(t *testing.T) {
+	// Spot-check that the suite actually exhibits the patterns its
+	// documentation claims.
+	t.Run("crc32-reuse", func(t *testing.T) {
+		w, err := ByName("crc32")
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := w.Trace()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := trace.NewProfile(w.Program.Graph.NumBlocks())
+		p.AddTrace(tr)
+		loop, _ := w.Program.Graph.BlockByLabel("crc_loop")
+		if loop == nil {
+			loop2, ok := w.Program.Graph.BlockByLabel("loop")
+			if !ok {
+				t.Fatal("no loop block")
+			}
+			loop = loop2
+		}
+		if frac := float64(p.VisitCount(loop.ID)) / float64(tr.Len()); frac < 0.9 {
+			t.Errorf("crc loop visit fraction = %.2f, want > 0.9", frac)
+		}
+	})
+	t.Run("jpegdct-phases", func(t *testing.T) {
+		w, err := ByName("jpegdct")
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := w.Trace()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Within one kernel invocation, once the column pass starts the
+		// row pass must never recur (the trace restarts at the entry
+		// when the kernel finishes, which resets the phase machine).
+		rows, _ := w.Program.Graph.BlockByLabel("row_pass")
+		cols, _ := w.Program.Graph.BlockByLabel("col_pass")
+		entry := w.Program.Graph.Entry()
+		seenCols := false
+		for i, b := range tr.Blocks {
+			if i > 0 && b == entry {
+				seenCols = false // new invocation
+			}
+			if b == cols.ID {
+				seenCols = true
+			}
+			if seenCols && b == rows.ID {
+				t.Fatalf("step %d: row pass revisited after column pass began", i)
+			}
+		}
+		if !seenCols {
+			t.Skip("trace ended before phase 2; lengthen TraceSteps")
+		}
+	})
+	t.Run("mpeg2-cold-arms", func(t *testing.T) {
+		w, err := ByName("mpeg2motion")
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := w.Trace()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := trace.NewProfile(w.Program.Graph.NumBlocks())
+		p.AddTrace(tr)
+		hot, _ := w.Program.Graph.BlockByLabel("mode_fwd")
+		cold, _ := w.Program.Graph.BlockByLabel("mode_field")
+		if p.VisitCount(hot.ID) <= 5*p.VisitCount(cold.ID) {
+			t.Errorf("hot arm (%d visits) not clearly hotter than cold arm (%d visits)",
+				p.VisitCount(hot.ID), p.VisitCount(cold.ID))
+		}
+	})
+	t.Run("function-labels-present", func(t *testing.T) {
+		all, err := Suite()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range all {
+			funcs := map[string]int{}
+			for _, b := range w.Program.Graph.Blocks() {
+				if b.Func == "" {
+					t.Errorf("%s: block %s has no function label", w.Name, b)
+				}
+				funcs[b.Func]++
+			}
+			if len(funcs) < 3 {
+				t.Errorf("%s: only %d functions; granularity ablation needs >= 3", w.Name, len(funcs))
+			}
+		}
+	})
+}
