@@ -1,0 +1,155 @@
+// Command apcc-serve runs the concurrent pack-serving subsystem: an
+// HTTP service packing workloads into APCC containers on demand and
+// serving whole containers or individual compressed blocks, plus a
+// load-generator mode that replays workload access patterns against it
+// from many concurrent simulated devices.
+//
+// Usage:
+//
+//	apcc-serve -addr :8080                        # serve
+//	apcc-serve -loadgen -clients 32 -workload fft # loadgen against an
+//	                                              # in-process server
+//	apcc-serve -loadgen -target http://host:8080 -clients 64 -steps 1000
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"time"
+
+	"apbcc/internal/report"
+	"apbcc/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address (serve mode)")
+		cacheMB = flag.Int("cache-mb", 32, "block cache capacity in MiB")
+		shards  = flag.Int("shards", 16, "block cache shard count")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "pack/compress worker pool size")
+		queue   = flag.Int("queue", 256, "worker pool queue depth")
+		batch   = flag.Int("batch", 8, "worker pool max batch per wakeup")
+
+		loadgen  = flag.Bool("loadgen", false, "run the load generator instead of serving")
+		target   = flag.String("target", "", "loadgen target base URL (default: in-process server)")
+		clients  = flag.Int("clients", 32, "loadgen concurrent clients")
+		steps    = flag.Int("steps", 500, "loadgen trace steps per client")
+		workload = flag.String("workload", "fft", "loadgen workload")
+		codec    = flag.String("codec", "dict", "loadgen block codec")
+		seed     = flag.Int64("seed", 1, "loadgen base trace seed")
+	)
+	flag.Parse()
+
+	cfg := service.Config{
+		CacheShards: *shards,
+		CacheBytes:  *cacheMB << 20,
+		Workers:     *workers,
+		QueueDepth:  *queue,
+		MaxBatch:    *batch,
+	}
+
+	if *loadgen {
+		if err := runLoadgen(cfg, *target, *workload, *codec, *clients, *steps, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	srv := service.New(cfg)
+	defer srv.Close()
+	httpSrv := &http.Server{
+		Addr:    *addr,
+		Handler: srv.Handler(),
+		// Bound slow clients so stalled connections cannot pin
+		// goroutines and descriptors indefinitely.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(shutdownCtx)
+	}()
+	fmt.Printf("apcc-serve: listening on %s (%d shards, %d MiB cache, %d workers)\n",
+		*addr, *shards, *cacheMB, *workers)
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fatal(err)
+	}
+	// ListenAndServe returns the moment Shutdown begins; wait for the
+	// drain to finish before tearing down the worker pool.
+	stop()
+	<-shutdownDone
+}
+
+// runLoadgen replays the workload against target, or against a
+// self-hosted in-process server on a loopback port when no target is
+// given — a single-binary demo of the whole serving path.
+func runLoadgen(cfg service.Config, target, workload, codec string, clients, steps int, seed int64) error {
+	var inproc *service.Server
+	if target == "" {
+		inproc = service.New(cfg)
+		defer inproc.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		httpSrv := &http.Server{
+			Handler:           inproc.Handler(),
+			ReadHeaderTimeout: 10 * time.Second,
+			IdleTimeout:       2 * time.Minute,
+		}
+		go httpSrv.Serve(ln)
+		defer httpSrv.Close()
+		target = "http://" + ln.Addr().String()
+		fmt.Printf("apcc-serve: in-process server on %s\n", target)
+	}
+
+	stats, err := service.RunLoad(context.Background(), service.LoadConfig{
+		BaseURL:  target,
+		Workload: workload,
+		Codec:    codec,
+		Clients:  clients,
+		Steps:    steps,
+		Seed:     seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	t := report.NewTable(fmt.Sprintf("loadgen %s/%s", workload, codec), "metric", "value")
+	t.AddRow("clients", stats.Clients)
+	t.AddRow("block_fetches", stats.Requests)
+	t.AddRow("errors", stats.Errors)
+	t.AddRow("payload_bytes", stats.Bytes)
+	t.AddRow("cache_hits_seen", stats.CacheHits)
+	t.AddRow("duration", stats.Duration.Round(time.Millisecond).String())
+	t.AddRow("fetches_per_sec", fmt.Sprintf("%.0f", stats.Throughput()))
+	t.AddRow("latency_p50", stats.Latency.Quantile(0.50).String())
+	t.AddRow("latency_p99", stats.Latency.Quantile(0.99).String())
+	fmt.Print(t)
+	if inproc != nil {
+		cs := inproc.CacheStats()
+		fmt.Printf("\nserver cache: hits=%d misses=%d coalesced=%d hit_rate=%.4f\n",
+			cs.Hits, cs.Misses, cs.Coalesced, cs.HitRate())
+	}
+	if stats.FirstError != nil {
+		return fmt.Errorf("loadgen saw %d errors; first: %w", stats.Errors, stats.FirstError)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "apcc-serve:", err)
+	os.Exit(1)
+}

@@ -23,8 +23,15 @@
 //	workloads  nine-kernel synthetic embedded benchmark suite
 //	bench      experiment harnesses (the tables in EXPERIMENTS.md)
 //	report     text tables / CSV
+//	pack       deployable compressed-image containers (the APCC format)
+//	service    concurrent pack-serving subsystem: sharded block cache,
+//	           batching worker pool, HTTP container/block endpoints,
+//	           load generator
 //
 // Commands: cmd/apcc (single run), cmd/apcc-sweep (regenerate all
-// experiment tables), cmd/cfgdump, cmd/asmtool. Runnable examples are
-// under examples/. See README.md, DESIGN.md and EXPERIMENTS.md.
+// experiment tables), cmd/apcc-pack (build/inspect containers),
+// cmd/apcc-serve (serve containers and blocks over HTTP; -loadgen
+// replays access patterns against it), cmd/cfgdump, cmd/asmtool.
+// Runnable examples are under examples/. See README.md, DESIGN.md and
+// EXPERIMENTS.md.
 package apbcc

@@ -1,0 +1,3 @@
+module apbcc
+
+go 1.24

@@ -62,6 +62,10 @@ type Codec interface {
 // ErrCorrupt reports malformed compressed input.
 var ErrCorrupt = errors.New("compress: corrupt input")
 
+// ErrUnknownCodec reports a codec name missing from the registry;
+// callers branch on it with errors.Is.
+var ErrUnknownCodec = errors.New("compress: unknown codec")
+
 // Factory builds a codec, optionally training it on a representative
 // byte image (the whole program's code, typically). Codecs that need no
 // training ignore the argument.
@@ -82,9 +86,16 @@ func Register(name string, f Factory) {
 func New(name string, train []byte) (Codec, error) {
 	f, ok := registry[name]
 	if !ok {
-		return nil, fmt.Errorf("compress: unknown codec %q (have %v)", name, Names())
+		return nil, fmt.Errorf("%w %q (have %v)", ErrUnknownCodec, name, Names())
 	}
 	return f(train)
+}
+
+// Registered reports whether a codec name is in the registry, without
+// building it — a cheap precheck for request validation.
+func Registered(name string) bool {
+	_, ok := registry[name]
+	return ok
 }
 
 // Names lists the registered codec names, sorted.

@@ -1,0 +1,147 @@
+package pack
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"apbcc/internal/compress"
+	"apbcc/internal/workloads"
+)
+
+// buildContainer packs a suite workload for corruption testing.
+func buildContainer(t testing.TB, workload, codecName string) ([]byte, []byte) {
+	t.Helper()
+	wl, err := workloads.ByName(workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := wl.Program.CodeBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec, err := compress.New(codecName, code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := Pack(wl.Program, codec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data, code
+}
+
+// TestUnpackTruncated feeds every prefix of a valid container to
+// Unpack: none may panic, none may succeed except the full container.
+func TestUnpackTruncated(t *testing.T) {
+	data, _ := buildContainer(t, "crc32", "dict")
+	for n := 0; n < len(data); n++ {
+		if _, _, _, err := Unpack("trunc", data[:n]); err == nil {
+			t.Fatalf("Unpack accepted %d/%d-byte prefix", n, len(data))
+		}
+	}
+	if _, _, _, err := Unpack("full", data); err != nil {
+		t.Fatalf("full container rejected: %v", err)
+	}
+}
+
+// TestUnpackBitFlips flips one bit at a time across the whole container
+// and asserts Unpack returns an error (or, rarely, a still-valid
+// program) without panicking. Flips that strike an identity-codec
+// payload keep the payload decodable, so those must surface as the
+// image checksum mismatch specifically.
+func TestUnpackBitFlips(t *testing.T) {
+	data, _ := buildContainer(t, "crc32", "dict")
+	mut := make([]byte, len(data))
+	for i := 0; i < len(data); i++ {
+		for bit := 0; bit < 8; bit++ {
+			copy(mut, data)
+			mut[i] ^= 1 << bit
+			p, _, _, err := Unpack("flip", mut)
+			if err != nil {
+				continue
+			}
+			// A flip in an unused float bit of an edge probability can
+			// legitimately survive; the program must still validate.
+			if verr := p.Validate(); verr != nil {
+				t.Fatalf("bit %d of byte %d: Unpack succeeded with invalid program: %v", bit, i, verr)
+			}
+		}
+	}
+}
+
+// TestUnpackTypedErrors drives each typed failure deliberately.
+func TestUnpackTypedErrors(t *testing.T) {
+	data, code := buildContainer(t, "fir", "identity")
+
+	t.Run("bad magic", func(t *testing.T) {
+		mut := append([]byte{}, data...)
+		mut[0] ^= 0xFF
+		if _, _, _, err := Unpack("m", mut); !errors.Is(err, ErrBadMagic) {
+			t.Fatalf("err = %v, want ErrBadMagic", err)
+		}
+	})
+
+	t.Run("bad version", func(t *testing.T) {
+		mut := append([]byte{}, data...)
+		mut[len(Magic)] = Version + 1 // single-byte uvarint
+		if _, _, _, err := Unpack("v", mut); !errors.Is(err, ErrBadVersion) {
+			t.Fatalf("err = %v, want ErrBadVersion", err)
+		}
+	})
+
+	t.Run("checksum mismatch", func(t *testing.T) {
+		// With the identity codec the plain image appears verbatim in
+		// the payloads; flipping a bit there keeps every block
+		// decodable and length-correct, so only the whole-image CRC can
+		// catch it.
+		mut := append([]byte{}, data...)
+		idx := bytes.Index(mut, code[:16])
+		if idx < 0 {
+			t.Fatal("plain image not found in identity container")
+		}
+		mut[idx] ^= 0x01
+		if _, _, _, err := Unpack("crc", mut); !errors.Is(err, ErrBadChecksum) {
+			t.Fatalf("err = %v, want ErrBadChecksum", err)
+		}
+	})
+
+	t.Run("empty", func(t *testing.T) {
+		if _, _, _, err := Unpack("e", nil); !errors.Is(err, ErrBadMagic) {
+			t.Fatalf("err = %v, want ErrBadMagic", err)
+		}
+	})
+
+	t.Run("truncated after version", func(t *testing.T) {
+		// Magic and version survive but the codec fields are gone:
+		// reading them must report corruption, not panic.
+		if _, _, _, err := Unpack("c", data[:len(Magic)+1]); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v, want ErrCorrupt", err)
+		}
+	})
+}
+
+// FuzzUnpack hands the decoder arbitrary mutations of real containers;
+// the engine fails the run on any panic. Whatever parses must survive
+// re-packing.
+func FuzzUnpack(f *testing.F) {
+	for _, codec := range []string{"dict", "identity", "lzss"} {
+		data, _ := buildContainer(f, "crc32", codec)
+		f.Add(data)
+	}
+	f.Add([]byte("APCC"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, codec, _, err := Unpack("fuzz", data)
+		if err != nil {
+			return
+		}
+		// Accepted input must describe a valid, re-packable program.
+		if err := p.Validate(); err != nil {
+			t.Fatalf("accepted invalid program: %v", err)
+		}
+		if _, err := Pack(p, codec); err != nil {
+			t.Fatalf("accepted program fails re-pack: %v", err)
+		}
+	})
+}

@@ -1,0 +1,118 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// BenchmarkServeBlock measures the hot serving path: cached block
+// fetches over real HTTP from parallel clients.
+func BenchmarkServeBlock(b *testing.B) {
+	for _, codec := range []string{"dict", "lzss", "identity"} {
+		b.Run(codec, func(b *testing.B) {
+			s := New(Config{})
+			ts := httptest.NewServer(s.Handler())
+			defer func() { ts.Close(); s.Close() }()
+			url := ts.URL + "/v1/block/fft/2?codec=" + codec
+			warm, err := ts.Client().Get(url) // build entry + fill cache
+			if err != nil {
+				b.Fatal(err)
+			}
+			io.Copy(io.Discard, warm.Body)
+			warm.Body.Close()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				client := &http.Client{Transport: ts.Client().Transport}
+				for pb.Next() {
+					resp, err := client.Get(url)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						b.Errorf("status %d", resp.StatusCode)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkBlockCache measures the cache in isolation: hits on a
+// resident key from parallel goroutines.
+func BenchmarkBlockCache(b *testing.B) {
+	c := NewBlockCache(16, 1<<20)
+	keys := make([]string, 64)
+	for i := range keys {
+		keys[i] = BlockAddress("dict", nil, []byte{byte(i)})
+		c.GetOrCompute(keys[i], func() ([]byte, error) { return make([]byte, 64), nil })
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, _, err := c.GetOrCompute(keys[i%len(keys)], nil); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkPool measures job submission overhead through the batching
+// pool.
+func BenchmarkPool(b *testing.B) {
+	p := NewPool(4, 256, 8)
+	defer p.Close()
+	noop := func() error { return nil }
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := p.Do(context.Background(), noop); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkPackContainer measures cold container builds (no cache) per
+// codec.
+func BenchmarkPackContainer(b *testing.B) {
+	for _, codec := range []string{"dict", "lzss", "huffman"} {
+		b.Run(codec, func(b *testing.B) {
+			s := New(Config{})
+			ts := httptest.NewServer(s.Handler())
+			defer func() { ts.Close(); s.Close() }()
+			src := `
+				start:
+					addi r1, r0, 10
+				loop:
+					addi r1, r1, -1
+					bne  r1, r0, loop
+					halt
+			`
+			for i := 0; i < b.N; i++ {
+				resp, err := ts.Client().Post(
+					fmt.Sprintf("%s/v1/pack?name=bench&codec=%s", ts.URL, codec),
+					"text/plain", strings.NewReader(src))
+				if err != nil {
+					b.Fatal(err)
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					b.Fatalf("status %d", resp.StatusCode)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,245 @@
+package service
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sync"
+)
+
+// BlockAddress computes the content address of a compressed-block cache
+// entry: SHA-256 over the codec name, a digest of the serialized codec
+// model and the plain block image, with variable-width fields
+// length-prefixed so boundaries cannot alias. Two blocks with the same
+// address are byte-identical under the same trained codec, so the
+// compressed form is shared.
+func BlockAddress(codecName string, model, plain []byte) string {
+	return addressWithDigest(codecName, sha256.Sum256(model), plain)
+}
+
+// BlockAddresses computes the content addresses of many blocks under
+// one codec, hashing the (potentially large) model once instead of per
+// block.
+func BlockAddresses(codecName string, model []byte, blocks [][]byte) []string {
+	digest := sha256.Sum256(model)
+	out := make([]string, len(blocks))
+	for i, b := range blocks {
+		out[i] = addressWithDigest(codecName, digest, b)
+	}
+	return out
+}
+
+func addressWithDigest(codecName string, modelDigest [sha256.Size]byte, plain []byte) string {
+	h := sha256.New()
+	var lenbuf [binary.MaxVarintLen64]byte
+	writeField := func(b []byte) {
+		n := binary.PutUvarint(lenbuf[:], uint64(len(b)))
+		h.Write(lenbuf[:n])
+		h.Write(b)
+	}
+	writeField([]byte(codecName))
+	h.Write(modelDigest[:]) // fixed width: no prefix needed
+	writeField(plain)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// CacheStats is a point-in-time aggregate over all shards.
+type CacheStats struct {
+	Hits      int64 // entry found resident
+	Misses    int64 // compute ran
+	Coalesced int64 // request piggybacked on an in-flight compute
+	Evictions int64
+	Entries   int64
+	Bytes     int64
+}
+
+// HitRate returns Hits / (Hits + Misses), counting coalesced requests
+// as hits (they never ran the compressor); 0 when idle.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Coalesced + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.Coalesced) / float64(total)
+}
+
+// BlockCache is a sharded, content-addressed LRU cache for compressed
+// block payloads. Each shard has an independent lock, so concurrent
+// requests for different blocks contend only when they hash to the
+// same shard. Cached values are shared slices: callers must not mutate
+// them.
+type BlockCache struct {
+	shards []*cacheShard
+}
+
+// NewBlockCache creates a cache with the given shard count (rounded up
+// to at least 1) and per-shard byte capacity.
+func NewBlockCache(shards, bytesPerShard int) *BlockCache {
+	if shards < 1 {
+		shards = 1
+	}
+	if bytesPerShard < 1 {
+		bytesPerShard = 1
+	}
+	c := &BlockCache{shards: make([]*cacheShard, shards)}
+	for i := range c.shards {
+		c.shards[i] = &cacheShard{
+			capacity: bytesPerShard,
+			items:    make(map[string]*list.Element),
+			inflight: make(map[string]*flight),
+			lru:      list.New(),
+		}
+	}
+	return c
+}
+
+// GetOrCompute returns the value for key, running compute on a miss.
+// Concurrent callers missing on the same key wait for a single compute
+// (singleflight); its result is handed to all of them. hit reports
+// whether this caller avoided running compute itself. Errors are not
+// cached: the next request retries.
+func (c *BlockCache) GetOrCompute(key string, compute func() ([]byte, error)) (val []byte, hit bool, err error) {
+	return c.shard(key).getOrCompute(key, compute)
+}
+
+// Get returns the cached value for key, if resident. It does not count
+// toward hit/miss statistics.
+func (c *BlockCache) Get(key string) ([]byte, bool) {
+	return c.shard(key).get(key)
+}
+
+// Stats aggregates statistics across shards.
+func (c *BlockCache) Stats() CacheStats {
+	var s CacheStats
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		s.Hits += sh.hits
+		s.Misses += sh.misses
+		s.Coalesced += sh.coalesced
+		s.Evictions += sh.evictions
+		s.Entries += int64(len(sh.items))
+		s.Bytes += int64(sh.bytes)
+		sh.mu.Unlock()
+	}
+	return s
+}
+
+// Shards returns the shard count.
+func (c *BlockCache) Shards() int { return len(c.shards) }
+
+func (c *BlockCache) shard(key string) *cacheShard {
+	// Inline FNV-1a: no hasher allocation on the per-request path.
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return c.shards[h%uint32(len(c.shards))]
+}
+
+// flight is one in-progress compute; waiters block on done.
+type flight struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+type cacheShard struct {
+	mu       sync.Mutex
+	capacity int
+	bytes    int
+	lru      *list.List // front = most recently used
+	items    map[string]*list.Element
+	inflight map[string]*flight
+
+	hits, misses, coalesced, evictions int64
+}
+
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+func (s *cacheShard) get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		s.lru.MoveToFront(el)
+		return el.Value.(*cacheEntry).val, true
+	}
+	return nil, false
+}
+
+func (s *cacheShard) getOrCompute(key string, compute func() ([]byte, error)) ([]byte, bool, error) {
+	s.mu.Lock()
+	if el, ok := s.items[key]; ok {
+		s.lru.MoveToFront(el)
+		s.hits++
+		val := el.Value.(*cacheEntry).val
+		s.mu.Unlock()
+		return val, true, nil
+	}
+	if fl, ok := s.inflight[key]; ok {
+		s.coalesced++
+		s.mu.Unlock()
+		<-fl.done
+		return fl.val, true, fl.err
+	}
+	fl := &flight{done: make(chan struct{})}
+	s.inflight[key] = fl
+	s.misses++
+	s.mu.Unlock()
+
+	fl.val, fl.err = safeCompute(compute)
+
+	s.mu.Lock()
+	delete(s.inflight, key)
+	if fl.err == nil {
+		s.insert(key, fl.val)
+	}
+	s.mu.Unlock()
+	close(fl.done)
+	return fl.val, false, fl.err
+}
+
+// safeCompute converts a panicking compute into an error. Without
+// this, a panic would unwind past getOrCompute with the in-flight
+// entry still registered and its done channel never closed, wedging
+// the key (and every coalesced waiter) forever.
+func safeCompute(compute func() ([]byte, error)) (val []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("service: cache compute panic: %v", r)
+		}
+	}()
+	return compute()
+}
+
+// insert adds an entry and evicts from the cold end until the shard
+// fits its capacity. Values larger than the whole shard are not cached
+// at all: admitting them would just flush everything else. Caller holds
+// the lock.
+func (s *cacheShard) insert(key string, val []byte) {
+	if len(val) > s.capacity {
+		return
+	}
+	if el, ok := s.items[key]; ok { // lost a race with another insert
+		s.lru.MoveToFront(el)
+		return
+	}
+	s.items[key] = s.lru.PushFront(&cacheEntry{key: key, val: val})
+	s.bytes += len(val)
+	for s.bytes > s.capacity {
+		back := s.lru.Back()
+		if back == nil {
+			break
+		}
+		ent := back.Value.(*cacheEntry)
+		s.lru.Remove(back)
+		delete(s.items, ent.key)
+		s.bytes -= len(ent.val)
+		s.evictions++
+	}
+}

@@ -1,0 +1,203 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestBlockAddressDistinct(t *testing.T) {
+	// Field boundaries must not alias: ("ab","c") != ("a","bc").
+	a := BlockAddress("ab", []byte("c"), []byte("x"))
+	b := BlockAddress("a", []byte("bc"), []byte("x"))
+	if a == b {
+		t.Fatal("addresses alias across field boundaries")
+	}
+	if BlockAddress("dict", nil, []byte{1}) == BlockAddress("dict", nil, []byte{2}) {
+		t.Fatal("addresses ignore payload")
+	}
+	if BlockAddress("dict", nil, []byte{1}) != BlockAddress("dict", nil, []byte{1}) {
+		t.Fatal("addresses are not deterministic")
+	}
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c := NewBlockCache(4, 1<<20)
+	calls := 0
+	compute := func() ([]byte, error) { calls++; return []byte("payload"), nil }
+
+	v, hit, err := c.GetOrCompute("k", compute)
+	if err != nil || hit || string(v) != "payload" {
+		t.Fatalf("first get: v=%q hit=%v err=%v", v, hit, err)
+	}
+	v, hit, err = c.GetOrCompute("k", compute)
+	if err != nil || !hit || string(v) != "payload" {
+		t.Fatalf("second get: v=%q hit=%v err=%v", v, hit, err)
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Entries != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if got := s.HitRate(); got != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5", got)
+	}
+}
+
+func TestCacheAddressesMatchAndAmortize(t *testing.T) {
+	blocks := [][]byte{[]byte("one"), []byte("two"), []byte("three")}
+	model := []byte("model-bytes")
+	got := BlockAddresses("dict", model, blocks)
+	for i, b := range blocks {
+		if want := BlockAddress("dict", model, b); got[i] != want {
+			t.Fatalf("block %d: batch address %s != single %s", i, got[i], want)
+		}
+	}
+}
+
+func TestCachePanickingComputeDoesNotWedgeKey(t *testing.T) {
+	c := NewBlockCache(1, 1<<20)
+	_, _, err := c.GetOrCompute("k", func() ([]byte, error) { panic("kaboom") })
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("err = %v, want compute panic error", err)
+	}
+	// The key must be usable again, not stuck on a dead flight.
+	v, _, err := c.GetOrCompute("k", func() ([]byte, error) { return []byte("ok"), nil })
+	if err != nil || string(v) != "ok" {
+		t.Fatalf("retry after panic: v=%q err=%v", v, err)
+	}
+}
+
+func TestCacheErrorNotCached(t *testing.T) {
+	c := NewBlockCache(1, 1<<20)
+	boom := errors.New("boom")
+	calls := 0
+	_, _, err := c.GetOrCompute("k", func() ([]byte, error) { calls++; return nil, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	_, hit, err := c.GetOrCompute("k", func() ([]byte, error) { calls++; return []byte("ok"), nil })
+	if err != nil || hit {
+		t.Fatalf("retry: hit=%v err=%v", hit, err)
+	}
+	if calls != 2 {
+		t.Fatalf("compute ran %d times, want 2", calls)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// One shard, capacity for two 4-byte values.
+	c := NewBlockCache(1, 8)
+	put := func(k string) {
+		c.GetOrCompute(k, func() ([]byte, error) { return []byte("1234"), nil })
+	}
+	put("a")
+	put("b")
+	c.GetOrCompute("a", nil) // touch a so b is the LRU victim
+	put("c")                 // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s evicted, want resident", k)
+		}
+	}
+	if s := c.Stats(); s.Evictions != 1 || s.Bytes != 8 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestCacheOversizeValueNotAdmitted(t *testing.T) {
+	c := NewBlockCache(1, 4)
+	v, _, err := c.GetOrCompute("big", func() ([]byte, error) { return make([]byte, 100), nil })
+	if err != nil || len(v) != 100 {
+		t.Fatalf("v=%d bytes err=%v", len(v), err)
+	}
+	if s := c.Stats(); s.Entries != 0 {
+		t.Fatalf("oversize value admitted: %+v", s)
+	}
+}
+
+func TestCacheSingleflight(t *testing.T) {
+	c := NewBlockCache(4, 1<<20)
+	var computes atomic.Int64
+	release := make(chan struct{})
+	const waiters = 16
+
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, _, err := c.GetOrCompute("k", func() ([]byte, error) {
+				computes.Add(1)
+				<-release
+				return []byte("v"), nil
+			})
+			if err != nil || string(v) != "v" {
+				t.Errorf("got %q, %v", v, err)
+			}
+		}()
+	}
+	// Wait until the one compute is in flight, then release it.
+	for computes.Load() == 0 {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times, want 1", n)
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.Coalesced != waiters-1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestCacheShardSpread(t *testing.T) {
+	c := NewBlockCache(8, 1<<20)
+	for i := 0; i < 256; i++ {
+		k := BlockAddress("codec", nil, []byte{byte(i)})
+		c.GetOrCompute(k, func() ([]byte, error) { return []byte{byte(i)}, nil })
+	}
+	used := 0
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		if len(sh.items) > 0 {
+			used++
+		}
+		sh.mu.Unlock()
+	}
+	if used < c.Shards()/2 {
+		t.Fatalf("only %d/%d shards used for 256 keys", used, c.Shards())
+	}
+}
+
+func TestCacheConcurrentMixed(t *testing.T) {
+	c := NewBlockCache(4, 1<<10) // small: forces evictions under load
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("key-%d", i%50)
+				v, _, err := c.GetOrCompute(k, func() ([]byte, error) {
+					return []byte(k), nil
+				})
+				if err != nil || string(v) != k {
+					t.Errorf("got %q, %v", v, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

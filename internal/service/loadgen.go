@@ -1,0 +1,212 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"apbcc/internal/compress"
+	"apbcc/internal/pack"
+	"apbcc/internal/trace"
+)
+
+// LoadConfig parameterizes a load-generation run: N simulated devices
+// replaying a workload's block access pattern as HTTP fetches.
+type LoadConfig struct {
+	// BaseURL is the server to hit, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Workload names the suite workload whose trace is replayed.
+	Workload string
+	// Codec selects the block codec (default dict).
+	Codec string
+	// Clients is the number of concurrent simulated devices (default 1).
+	Clients int
+	// Steps is the trace length each client replays (default 200).
+	Steps int
+	// Seed offsets every client's trace seed so devices diverge.
+	Seed int64
+	// Client optionally overrides the HTTP client (tests inject the
+	// httptest server's client).
+	Client *http.Client
+}
+
+// LoadStats aggregates a load run.
+type LoadStats struct {
+	Clients    int
+	Requests   int64 // block fetches issued
+	Errors     int64 // transport errors, bad statuses, verify failures
+	Bytes      int64 // compressed payload bytes received
+	CacheHits  int64 // responses marked X-Apcc-Cache: hit
+	Duration   time.Duration
+	Latency    *Histogram // per-fetch latency across all clients
+	FirstError error      // sample for diagnostics
+}
+
+// Throughput returns fetches per second over the run.
+func (s *LoadStats) Throughput() float64 {
+	if s.Duration <= 0 {
+		return 0
+	}
+	return float64(s.Requests) / s.Duration.Seconds()
+}
+
+// RunLoad replays the workload's access pattern from Clients concurrent
+// devices. Each client first fetches the whole container and unpacks it
+// (running checksum verification), then walks its own seeded trace,
+// fetching each visited block over HTTP, decompressing the payload with
+// the container's codec and checking it against the expected block
+// image and its CRC header. Any mismatch counts as an error.
+func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadStats, error) {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 1
+	}
+	if cfg.Steps <= 0 {
+		cfg.Steps = 200
+	}
+	if cfg.Codec == "" {
+		cfg.Codec = "dict"
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        cfg.Clients * 2,
+			MaxIdleConnsPerHost: cfg.Clients * 2,
+		}}
+	}
+
+	stats := &LoadStats{Clients: cfg.Clients, Latency: &Histogram{}}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < cfg.Clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			cs, err := runClient(ctx, client, cfg, cfg.Seed+int64(id), stats.Latency)
+			mu.Lock()
+			defer mu.Unlock()
+			stats.Requests += cs.requests
+			stats.Errors += cs.errors
+			stats.Bytes += cs.bytes
+			stats.CacheHits += cs.hits
+			if err != nil {
+				stats.Errors++
+				if stats.FirstError == nil {
+					stats.FirstError = err
+				}
+			} else if cs.firstError != nil && stats.FirstError == nil {
+				stats.FirstError = cs.firstError
+			}
+		}(i)
+	}
+	wg.Wait()
+	stats.Duration = time.Since(start)
+	return stats, nil
+}
+
+type clientStats struct {
+	requests, errors, bytes, hits int64
+	firstError                    error
+}
+
+// runClient is one simulated device: fetch container, verify, replay.
+func runClient(ctx context.Context, client *http.Client, cfg LoadConfig, seed int64, lat *Histogram) (clientStats, error) {
+	var cs clientStats
+	url := fmt.Sprintf("%s/v1/pack/%s?codec=%s", cfg.BaseURL, cfg.Workload, cfg.Codec)
+	body, _, err := fetch(ctx, client, url)
+	if err != nil {
+		return cs, fmt.Errorf("container fetch: %w", err)
+	}
+	// Unpack runs the whole-image checksum verification client-side.
+	prog, codec, _, err := pack.Unpack(cfg.Workload, body)
+	if err != nil {
+		return cs, fmt.Errorf("container verify: %w", err)
+	}
+	want, err := prog.AllBlockBytes()
+	if err != nil {
+		return cs, err
+	}
+
+	tr, err := trace.Generate(prog.Graph, trace.GenConfig{Seed: seed, MaxSteps: cfg.Steps, Restart: true})
+	if err != nil {
+		return cs, err
+	}
+	for _, blockID := range tr.Blocks {
+		if ctx.Err() != nil {
+			return cs, ctx.Err()
+		}
+		url := fmt.Sprintf("%s/v1/block/%s/%d?codec=%s", cfg.BaseURL, cfg.Workload, blockID, cfg.Codec)
+		t0 := time.Now()
+		payload, hdr, err := fetch(ctx, client, url)
+		lat.Observe(time.Since(t0))
+		cs.requests++
+		if err != nil {
+			cs.errors++
+			if cs.firstError == nil {
+				cs.firstError = err
+			}
+			continue
+		}
+		cs.bytes += int64(len(payload))
+		if hdr.Get(HeaderCache) == "hit" {
+			cs.hits++
+		}
+		if err := verifyBlock(codec, payload, hdr, want[blockID]); err != nil {
+			cs.errors++
+			if cs.firstError == nil {
+				cs.firstError = fmt.Errorf("block %d: %w", blockID, err)
+			}
+		}
+	}
+	return cs, nil
+}
+
+// verifyBlock decompresses a served payload and checks it against the
+// expected plain image and the CRC the server advertised.
+func verifyBlock(codec compress.Codec, payload []byte, hdr http.Header, want []byte) error {
+	plain, err := codec.Decompress(payload)
+	if err != nil {
+		return fmt.Errorf("decompress: %w", err)
+	}
+	if !bytes.Equal(plain, want) {
+		return fmt.Errorf("plain image mismatch: %d bytes vs %d expected", len(plain), len(want))
+	}
+	if h := hdr.Get(HeaderCRC); h != "" {
+		crc, err := strconv.ParseUint(h, 16, 32)
+		if err != nil {
+			return fmt.Errorf("bad %s header %q", HeaderCRC, h)
+		}
+		if got := crc32.ChecksumIEEE(plain); got != uint32(crc) {
+			return fmt.Errorf("crc mismatch: %08x != %08x", got, crc)
+		}
+	}
+	return nil
+}
+
+// fetch GETs a URL, returning the body and headers; a non-200 status is
+// an error.
+func fetch(ctx context.Context, client *http.Client, url string) ([]byte, http.Header, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, nil, fmt.Errorf("%s: %s: %s", url, resp.Status, bytes.TrimSpace(body))
+	}
+	return body, resp.Header, nil
+}

@@ -1,0 +1,193 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"apbcc/internal/report"
+)
+
+// histBounds are the latency bucket upper bounds. The last bucket is
+// open-ended. Spacing is roughly logarithmic from 50µs to 1s, covering
+// cache hits at the bottom and cold whole-container packs at the top.
+var histBounds = []time.Duration{
+	50 * time.Microsecond,
+	100 * time.Microsecond,
+	250 * time.Microsecond,
+	500 * time.Microsecond,
+	1 * time.Millisecond,
+	2500 * time.Microsecond,
+	5 * time.Millisecond,
+	10 * time.Millisecond,
+	25 * time.Millisecond,
+	50 * time.Millisecond,
+	100 * time.Millisecond,
+	250 * time.Millisecond,
+	500 * time.Millisecond,
+	time.Second,
+}
+
+// numBuckets is len(histBounds) plus the open-ended overflow bucket.
+const numBuckets = 15
+
+// Histogram is a fixed-bucket latency histogram safe for concurrent
+// observation.
+type Histogram struct {
+	counts [numBuckets]atomic.Int64
+	sumNS  atomic.Int64
+	n      atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	i := sort.Search(len(histBounds), func(i int) bool { return d <= histBounds[i] })
+	h.counts[i].Add(1)
+	h.sumNS.Add(int64(d))
+	h.n.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.n.Load() }
+
+// Mean returns the mean observed duration, 0 when empty.
+func (h *Histogram) Mean() time.Duration {
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sumNS.Load() / n)
+}
+
+// Quantile approximates the q-quantile (0 < q <= 1) as the upper bound
+// of the bucket holding the q-th observation; observations beyond the
+// last bound report the largest bound.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := range h.counts {
+		seen += h.counts[i].Load()
+		if seen >= rank {
+			if i < len(histBounds) {
+				return histBounds[i]
+			}
+			return histBounds[len(histBounds)-1]
+		}
+	}
+	return histBounds[len(histBounds)-1]
+}
+
+// Metrics aggregates service-wide counters: request counts per route
+// family, error counts, in-flight requests and per-codec block-serving
+// latency histograms.
+type Metrics struct {
+	start time.Time
+
+	Requests  atomic.Int64 // all HTTP requests
+	Errors    atomic.Int64 // responses with status >= 400
+	InFlight  atomic.Int64 // HTTP requests currently being handled
+	Packs     atomic.Int64 // containers built (not cached re-serves)
+	Blocks    atomic.Int64 // block fetches served
+	BytesSent atomic.Int64 // payload bytes written
+
+	mu       sync.Mutex
+	perCodec map[string]*Histogram
+}
+
+// NewMetrics creates an empty metrics set.
+func NewMetrics() *Metrics {
+	return &Metrics{start: time.Now(), perCodec: make(map[string]*Histogram)}
+}
+
+// CodecHist returns (creating if needed) the latency histogram for a
+// codec.
+func (m *Metrics) CodecHist(codec string) *Histogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.perCodec[codec]
+	if !ok {
+		h = &Histogram{}
+		m.perCodec[codec] = h
+	}
+	return h
+}
+
+// codecNames returns the codecs with histograms, sorted.
+func (m *Metrics) codecNames() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.perCodec))
+	for name := range m.perCodec {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WriteTables renders the metrics through internal/report. csv selects
+// the CSV dialect (one table after another, separated by blank lines);
+// otherwise aligned text tables are written.
+func (m *Metrics) WriteTables(w io.Writer, cache CacheStats, pool PoolStats, csv bool) error {
+	svc := report.NewTable("service", "metric", "value")
+	svc.AddRow("uptime_seconds", fmt.Sprintf("%.1f", time.Since(m.start).Seconds()))
+	svc.AddRow("requests_total", m.Requests.Load())
+	svc.AddRow("errors_total", m.Errors.Load())
+	svc.AddRow("in_flight", m.InFlight.Load())
+	svc.AddRow("packs_built_total", m.Packs.Load())
+	svc.AddRow("blocks_served_total", m.Blocks.Load())
+	svc.AddRow("payload_bytes_total", m.BytesSent.Load())
+
+	ct := report.NewTable("block cache", "metric", "value")
+	ct.AddRow("hits", cache.Hits)
+	ct.AddRow("misses", cache.Misses)
+	ct.AddRow("coalesced", cache.Coalesced)
+	ct.AddRow("hit_rate", fmt.Sprintf("%.4f", cache.HitRate()))
+	ct.AddRow("evictions", cache.Evictions)
+	ct.AddRow("entries", cache.Entries)
+	ct.AddRow("bytes", cache.Bytes)
+
+	pt := report.NewTable("worker pool", "metric", "value")
+	pt.AddRow("workers", pool.Workers)
+	pt.AddRow("submitted", pool.Submitted)
+	pt.AddRow("completed", pool.Completed)
+	pt.AddRow("batches", pool.Batches)
+	pt.AddRow("mean_batch", fmt.Sprintf("%.2f", pool.MeanBatch()))
+	pt.AddRow("in_flight", pool.InFlight)
+
+	lt := report.NewTable("block latency by codec", "codec", "count", "mean", "p50", "p90", "p99")
+	for _, name := range m.codecNames() {
+		h := m.CodecHist(name)
+		lt.AddRow(name, h.Count(), h.Mean().String(),
+			h.Quantile(0.50).String(), h.Quantile(0.90).String(), h.Quantile(0.99).String())
+	}
+
+	for _, t := range []*report.Table{svc, ct, pt, lt} {
+		if csv {
+			if _, err := io.WriteString(w, t.CSV()); err != nil {
+				return err
+			}
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := t.WriteTo(w); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,188 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrPoolClosed reports a submit to a closed pool.
+var ErrPoolClosed = errors.New("service: pool closed")
+
+// PoolStats is a point-in-time snapshot of pool activity.
+type PoolStats struct {
+	Workers   int
+	Submitted int64
+	Completed int64
+	Batches   int64 // worker wakeups; Completed/Batches ≈ mean batch size
+	InFlight  int64 // submitted, not yet finished (queued or running)
+}
+
+// MeanBatch returns the average number of jobs a worker processed per
+// wakeup — the measure of how much batching is amortizing scheduling.
+func (s PoolStats) MeanBatch() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.Completed) / float64(s.Batches)
+}
+
+// Pool is a bounded worker pool with request batching for pack and
+// compress jobs. Jobs enter a bounded queue (backpressure: Do blocks
+// when it is full); a worker that wakes for one job opportunistically
+// drains up to its batch limit before sleeping again, so under load the
+// per-job synchronization cost is shared across a batch.
+type Pool struct {
+	jobs     chan poolJob
+	maxBatch int
+	wg       sync.WaitGroup // workers
+	sendWG   sync.WaitGroup // Do calls between admission and enqueue
+
+	mu     sync.Mutex
+	closed bool
+
+	workers   int
+	submitted atomic.Int64
+	completed atomic.Int64
+	batches   atomic.Int64
+	inFlight  atomic.Int64
+}
+
+type poolJob struct {
+	ctx  context.Context
+	fn   func() error
+	done chan error
+}
+
+// NewPool starts workers goroutines servicing a queue of queueDepth
+// jobs, each wakeup draining at most maxBatch jobs. Arguments are
+// clamped to at least 1.
+func NewPool(workers, queueDepth, maxBatch int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueDepth < 1 {
+		queueDepth = 1
+	}
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	p := &Pool{
+		jobs:     make(chan poolJob, queueDepth),
+		maxBatch: maxBatch,
+		workers:  workers,
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Do submits fn and waits for it to finish, returning its error. If ctx
+// is done before a worker runs the job, Do returns ctx.Err() and fn
+// never runs: a worker reaching an abandoned job discards it.
+func (p *Pool) Do(ctx context.Context, fn func() error) error {
+	j := poolJob{ctx: ctx, fn: fn, done: make(chan error, 1)}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrPoolClosed
+	}
+	p.submitted.Add(1)
+	p.inFlight.Add(1)
+	p.sendWG.Add(1)
+	p.mu.Unlock()
+	select {
+	case p.jobs <- j:
+		p.sendWG.Done()
+	case <-ctx.Done():
+		p.sendWG.Done()
+		p.inFlight.Add(-1)
+		return ctx.Err()
+	}
+	select {
+	case err := <-j.done:
+		return err
+	case <-ctx.Done():
+		// The job stays queued; the worker that dequeues it sees the
+		// dead context, skips fn and settles the counters.
+		return ctx.Err()
+	}
+}
+
+// Close stops accepting jobs, waits for queued work to drain and the
+// workers to exit.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	// Workers are still draining, so pending Do sends finish; only then
+	// is the channel safe to close.
+	p.sendWG.Wait()
+	close(p.jobs)
+	p.wg.Wait()
+}
+
+// Stats returns a snapshot of pool counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Workers:   p.workers,
+		Submitted: p.submitted.Load(),
+		Completed: p.completed.Load(),
+		Batches:   p.batches.Load(),
+		InFlight:  p.inFlight.Load(),
+	}
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for j := range p.jobs {
+		p.batches.Add(1)
+		p.run(j)
+		// Drain whatever queued while we were busy, up to the batch
+		// limit, without going back to sleep.
+	drain:
+		for n := 1; n < p.maxBatch; n++ {
+			select {
+			case j2, ok := <-p.jobs:
+				if !ok {
+					return
+				}
+				p.run(j2)
+			default:
+				break drain // queue empty; sleep again
+			}
+		}
+	}
+}
+
+func (p *Pool) run(j poolJob) {
+	var err error
+	if j.ctx != nil && j.ctx.Err() != nil {
+		err = j.ctx.Err()
+	} else {
+		err = p.runGuarded(j.fn)
+	}
+	p.completed.Add(1)
+	p.inFlight.Add(-1)
+	j.done <- err
+}
+
+// runGuarded converts a panicking job into an error so one bad job
+// cannot kill a worker (which would leak the caller and shrink the
+// pool for the server's lifetime).
+func (p *Pool) runGuarded(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("service: job panic: %v", r)
+		}
+	}()
+	return fn()
+}

@@ -1,0 +1,145 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsJobs(t *testing.T) {
+	p := NewPool(4, 16, 4)
+	defer p.Close()
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := p.Do(context.Background(), func() error { ran.Add(1); return nil }); err != nil {
+				t.Errorf("Do: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := ran.Load(); n != 100 {
+		t.Fatalf("ran %d jobs, want 100", n)
+	}
+	s := p.Stats()
+	if s.Completed != 100 || s.Submitted != 100 || s.InFlight != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestPoolSurvivesPanickingJob(t *testing.T) {
+	p := NewPool(1, 4, 1)
+	defer p.Close()
+	err := p.Do(context.Background(), func() error { panic("kaboom") })
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("err = %v, want job panic error", err)
+	}
+	// The single worker must still be alive to run this.
+	if err := p.Do(context.Background(), func() error { return nil }); err != nil {
+		t.Fatalf("Do after panic: %v", err)
+	}
+	if s := p.Stats(); s.InFlight != 0 || s.Completed != 2 {
+		t.Fatalf("stats after panic = %+v", s)
+	}
+}
+
+func TestPoolPropagatesError(t *testing.T) {
+	p := NewPool(1, 1, 1)
+	defer p.Close()
+	boom := errors.New("boom")
+	if err := p.Do(context.Background(), func() error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestPoolContextCancelBeforeRun(t *testing.T) {
+	// One worker wedged on a slow job; a second job's context expires
+	// while it waits. The pool must return the context error without
+	// running it.
+	p := NewPool(1, 4, 1)
+	defer p.Close()
+	block := make(chan struct{})
+	go p.Do(context.Background(), func() error { <-block; return nil })
+	time.Sleep(10 * time.Millisecond) // let the slow job start
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := p.Do(ctx, func() error { ran = true; return nil })
+	close(block)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("cancelled job still ran")
+	}
+}
+
+func TestPoolBatching(t *testing.T) {
+	// One worker, deep queue: wedge the worker, fill the queue, then
+	// release. The worker should drain the queued jobs in far fewer
+	// wakeups than jobs.
+	p := NewPool(1, 64, 8)
+	defer p.Close()
+	block := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p.Do(context.Background(), func() error { <-block; return nil })
+	}()
+	time.Sleep(10 * time.Millisecond)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Do(context.Background(), func() error { return nil })
+		}()
+	}
+	// Wait for the queue to hold all 32 followers before releasing.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(p.jobs) < 32 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if n := len(p.jobs); n < 32 {
+		t.Fatalf("only %d jobs queued", n)
+	}
+	close(block)
+	wg.Wait()
+	s := p.Stats()
+	if s.Completed != 33 {
+		t.Fatalf("completed = %d, want 33", s.Completed)
+	}
+	if s.MeanBatch() <= 1.5 {
+		t.Fatalf("mean batch = %.2f (batches=%d); batching not happening", s.MeanBatch(), s.Batches)
+	}
+}
+
+func TestPoolClose(t *testing.T) {
+	p := NewPool(2, 8, 2)
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Do(context.Background(), func() error { ran.Add(1); return nil })
+		}()
+	}
+	wg.Wait()
+	p.Close()
+	p.Close() // idempotent
+	if err := p.Do(context.Background(), func() error { return nil }); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("Do after Close = %v, want ErrPoolClosed", err)
+	}
+	if ran.Load() != 10 {
+		t.Fatalf("ran = %d, want 10", ran.Load())
+	}
+}

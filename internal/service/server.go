@@ -1,0 +1,440 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"apbcc/internal/compress"
+	"apbcc/internal/isa"
+	"apbcc/internal/pack"
+	"apbcc/internal/program"
+	"apbcc/internal/report"
+	"apbcc/internal/workloads"
+)
+
+// Response headers carrying block metadata to the fetching device.
+const (
+	HeaderCodec = "X-Apcc-Codec" // codec the payload was compressed with
+	HeaderWords = "X-Apcc-Words" // plain size in ERI32 words
+	HeaderCRC   = "X-Apcc-Crc32" // IEEE CRC-32 of the plain block image
+	HeaderCache = "X-Apcc-Cache" // hit | miss
+)
+
+// maxAsmBody bounds POST /v1/pack request bodies.
+const maxAsmBody = 1 << 20
+
+// Config sizes the serving subsystem. Zero values select defaults.
+type Config struct {
+	// CacheShards is the block-cache shard count (default 16).
+	CacheShards int
+	// CacheBytes is the total block-cache capacity, split evenly across
+	// shards (default 32 MiB).
+	CacheBytes int
+	// Workers is the pack/compress worker-pool size (default
+	// GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the pool's job queue (default 256).
+	QueueDepth int
+	// MaxBatch is the pool's per-wakeup batch limit (default 8).
+	MaxBatch int
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheShards <= 0 {
+		c.CacheShards = 16
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 32 << 20
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	return c
+}
+
+// Server is the pack-serving subsystem: container and block endpoints
+// in front of the sharded block cache and the batching worker pool.
+type Server struct {
+	cache   *BlockCache
+	pool    *Pool
+	metrics *Metrics
+	handler http.Handler
+
+	mu      sync.Mutex
+	entries map[string]*entry
+
+	workloadsOnce  sync.Once
+	workloadsTable string
+	workloadsErr   error
+}
+
+// entry is one built (workload, codec) container, ready to serve. It is
+// constructed once per key: later requesters wait on ready.
+type entry struct {
+	ready chan struct{}
+	err   error
+
+	container []byte
+	codec     compress.Codec
+	plain     [][]byte   // per-block images of the *unpacked* program
+	crcs      []uint32   // per-block IEEE CRC-32 of plain
+	keys      []string   // per-block content addresses, precomputed
+	hist      *Histogram // latency histogram for this entry's codec
+}
+
+// New builds a Server. Call Close when done to stop the worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cache:   NewBlockCache(cfg.CacheShards, cfg.CacheBytes/cfg.CacheShards),
+		pool:    NewPool(cfg.Workers, cfg.QueueDepth, cfg.MaxBatch),
+		metrics: NewMetrics(),
+		entries: make(map[string]*entry),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	mux.HandleFunc("GET /v1/codecs", s.handleCodecs)
+	mux.HandleFunc("GET /v1/pack/{workload}", s.handlePackWorkload)
+	mux.HandleFunc("POST /v1/pack", s.handlePackAsm)
+	mux.HandleFunc("GET /v1/block/{workload}/{id}", s.handleBlock)
+	s.handler = s.instrument(mux)
+	return s
+}
+
+// Handler returns the instrumented HTTP handler.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Close stops the worker pool, draining queued jobs.
+func (s *Server) Close() { s.pool.Close() }
+
+// Metrics exposes the server's counters (for in-process inspection and
+// tests).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// CacheStats exposes the block cache aggregate.
+func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
+
+// instrument wraps the mux with request/error/in-flight accounting.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.Requests.Add(1)
+		s.metrics.InFlight.Add(1)
+		defer s.metrics.InFlight.Add(-1)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		if rec.status >= 400 {
+			s.metrics.Errors.Add(1)
+		}
+		s.metrics.BytesSent.Add(rec.bytes)
+	})
+}
+
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += int64(n)
+	return n, err
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	csv := r.URL.Query().Get("format") == "csv"
+	if csv {
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+	} else {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	}
+	s.metrics.WriteTables(w, s.cache.Stats(), s.pool.Stats(), csv)
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	// The suite is deterministic; synthesize and render it once.
+	s.workloadsOnce.Do(func() {
+		suite, err := workloads.Suite()
+		if err != nil {
+			s.workloadsErr = err
+			return
+		}
+		t := report.NewTable("workloads", "name", "blocks", "bytes", "desc")
+		for _, wl := range suite {
+			t.AddRow(wl.Name, wl.Program.Graph.NumBlocks(), wl.Program.TotalBytes(), wl.Desc)
+		}
+		s.workloadsTable = t.String()
+	})
+	if s.workloadsErr != nil {
+		http.Error(w, s.workloadsErr.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, s.workloadsTable)
+}
+
+func (s *Server) handleCodecs(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, strings.Join(compress.Names(), "\n")+"\n")
+}
+
+func (s *Server) handlePackWorkload(w http.ResponseWriter, r *http.Request) {
+	ent, status, err := s.entryFor(r.Context(), r.PathValue("workload"), codecParam(r))
+	if err != nil {
+		http.Error(w, err.Error(), status)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(HeaderCodec, ent.codec.Name())
+	w.Write(ent.container)
+}
+
+func (s *Server) handlePackAsm(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		name = "posted"
+	}
+	src, err := io.ReadAll(io.LimitReader(r.Body, maxAsmBody+1))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(src) > maxAsmBody {
+		http.Error(w, "assembly source too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+	// Parse and validate outside the pool so client mistakes are cheap
+	// 400s and never queue behind real work.
+	if err := checkCodec(codecParam(r)); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	p, err := program.FromAssembly(name, string(src))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var container []byte
+	err = s.pool.Do(r.Context(), func() error {
+		var perr error
+		container, _, _, perr = s.buildContainer(p, codecParam(r))
+		return perr
+	})
+	if err != nil {
+		http.Error(w, err.Error(), statusFor(err))
+		return
+	}
+	s.metrics.Packs.Add(1)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(container)
+}
+
+func (s *Server) handleBlock(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	ent, status, err := s.entryFor(r.Context(), r.PathValue("workload"), codecParam(r))
+	if err != nil {
+		http.Error(w, err.Error(), status)
+		return
+	}
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil || id < 0 || id >= len(ent.plain) {
+		http.Error(w, fmt.Sprintf("no block %q (%d blocks)", r.PathValue("id"), len(ent.plain)),
+			http.StatusNotFound)
+		return
+	}
+	plain := ent.plain[id]
+	payload, hit, err := s.cache.GetOrCompute(ent.keys[id], func() ([]byte, error) {
+		// Detach from the request context: coalesced waiters depend on
+		// this compute, so the leader disconnecting must not fail it.
+		ctx := context.WithoutCancel(r.Context())
+		var comp []byte
+		err := s.pool.Do(ctx, func() error {
+			var cerr error
+			comp, cerr = ent.codec.Compress(plain)
+			return cerr
+		})
+		return comp, err
+	})
+	if err != nil {
+		http.Error(w, err.Error(), statusFor(err))
+		return
+	}
+	s.metrics.Blocks.Add(1)
+	ent.hist.Observe(time.Since(start))
+	h := w.Header()
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set(HeaderCodec, ent.codec.Name())
+	h.Set(HeaderWords, strconv.Itoa(len(plain)/isa.WordSize))
+	h.Set(HeaderCRC, fmt.Sprintf("%08x", ent.crcs[id]))
+	if hit {
+		h.Set(HeaderCache, "hit")
+	} else {
+		h.Set(HeaderCache, "miss")
+	}
+	w.Write(payload)
+}
+
+// codecParam extracts the codec query parameter, defaulting to dict.
+func codecParam(r *http.Request) string {
+	if c := r.URL.Query().Get("codec"); c != "" {
+		return c
+	}
+	return "dict"
+}
+
+// checkCodec validates a codec name against the registry without
+// building or training anything.
+func checkCodec(name string) error {
+	if !compress.Registered(name) {
+		return fmt.Errorf("%w %q (have %v)", compress.ErrUnknownCodec, name, compress.Names())
+	}
+	return nil
+}
+
+// entryFor returns the built container entry for (workload, codec),
+// building it exactly once. The returned status is an HTTP status for
+// err.
+func (s *Server) entryFor(ctx context.Context, workload, codecName string) (*entry, int, error) {
+	key := workload + "\x00" + codecName
+	s.mu.Lock()
+	ent, ok := s.entries[key]
+	if !ok {
+		ent = &entry{ready: make(chan struct{})}
+		s.entries[key] = ent
+		s.mu.Unlock()
+		ent.err = s.build(ent, workload, codecName)
+		if ent.err != nil {
+			// Drop failed builds so errors are not cached forever and
+			// bogus names cannot grow the map without bound.
+			s.mu.Lock()
+			delete(s.entries, key)
+			s.mu.Unlock()
+		}
+		close(ent.ready)
+	} else {
+		s.mu.Unlock()
+		select {
+		case <-ent.ready:
+		case <-ctx.Done():
+			return nil, http.StatusServiceUnavailable, ctx.Err()
+		}
+	}
+	if ent.err != nil {
+		return nil, statusFor(ent.err), ent.err
+	}
+	return ent, http.StatusOK, nil
+}
+
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, workloads.ErrUnknown):
+		return http.StatusNotFound
+	case errors.Is(err, compress.ErrUnknownCodec):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrPoolClosed), errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// build packs the workload under the codec and verifies the container
+// by fully unpacking it — the served artifact has passed the image
+// checksum, not just the packer's intent. The entry then serves blocks
+// from the *reconstructed* program, so what devices fetch is exactly
+// what survives verification.
+func (s *Server) build(ent *entry, workload, codecName string) error {
+	wl, err := workloads.ByName(workload)
+	if err != nil {
+		return err
+	}
+	// Reject bad codec names before they occupy a pool slot.
+	if err := checkCodec(codecName); err != nil {
+		return err
+	}
+	var (
+		container []byte
+		p         *program.Program
+		codec     compress.Codec
+	)
+	err = s.pool.Do(context.Background(), func() error {
+		var perr error
+		container, p, codec, perr = s.buildContainer(wl.Program, codecName)
+		return perr
+	})
+	if err != nil {
+		return err
+	}
+	plain, err := p.AllBlockBytes()
+	if err != nil {
+		return err
+	}
+	keys := BlockAddresses(codec.Name(), compress.MarshalModel(codec), plain)
+	crcs := make([]uint32, len(plain))
+	for i, b := range plain {
+		crcs[i] = crc32.ChecksumIEEE(b)
+	}
+	s.metrics.Packs.Add(1)
+	ent.container = container
+	ent.codec = codec
+	ent.plain = plain
+	ent.crcs = crcs
+	ent.keys = keys
+	// Resolve the histogram once so the hot path never takes the
+	// metrics mutex.
+	ent.hist = s.metrics.CodecHist(codec.Name())
+	return nil
+}
+
+// buildContainer trains the codec on the program's code and packs it,
+// then round-trips the result through Unpack so no unverifiable
+// container ever leaves the server. The reconstructed program and
+// rebuilt codec from that verification pass are returned alongside the
+// container bytes.
+func (s *Server) buildContainer(p *program.Program, codecName string) ([]byte, *program.Program, compress.Codec, error) {
+	code, err := p.CodeBytes()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	codec, err := compress.New(codecName, code)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	container, err := pack.Pack(p, codec)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	up, ucodec, _, err := pack.Unpack(p.Name, container)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("service: packed container failed verification: %w", err)
+	}
+	return container, up, ucodec, nil
+}

@@ -22,6 +22,7 @@
 package workloads
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -29,6 +30,10 @@ import (
 	"apbcc/internal/program"
 	"apbcc/internal/trace"
 )
+
+// ErrUnknown reports a workload name not in the suite; callers branch
+// on it with errors.Is.
+var ErrUnknown = errors.New("workloads: unknown workload")
 
 // Workload is one synthetic benchmark.
 type Workload struct {
@@ -106,7 +111,7 @@ func ByName(name string) (*Workload, error) {
 			return w, nil
 		}
 	}
-	return nil, fmt.Errorf("workloads: unknown workload %q (have %v)", name, Names())
+	return nil, fmt.Errorf("%w %q (have %v)", ErrUnknown, name, Names())
 }
 
 // Names lists the suite's workload names, sorted.
