@@ -5,8 +5,12 @@
 //
 //	apcc-pack -workload fft -o fft.apcc            # pack a suite workload
 //	apcc-pack -asm prog.s -codec lzss -o prog.apcc # pack assembled source
+//	apcc-pack -workload fft -parallel 0 -o f.apcc  # parallel build (0 = all cores)
 //	apcc-pack -info fft.apcc                       # inspect a container
 //	apcc-pack -verify fft.apcc                     # unpack + validate
+//
+// Parallel and serial builds produce byte-identical containers; the
+// worker count only changes build latency.
 package main
 
 import (
@@ -29,6 +33,7 @@ func main() {
 		out       = flag.String("o", "", "output container path")
 		info      = flag.String("info", "", "container to summarize")
 		verify    = flag.String("verify", "", "container to unpack and validate")
+		parallel  = flag.Int("parallel", 1, "block-compression workers (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -89,7 +94,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		data, err := pack.Pack(p, codec)
+		data, err := pack.PackParallel(p, codec, *parallel)
 		if err != nil {
 			fatal(err)
 		}

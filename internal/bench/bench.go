@@ -140,20 +140,32 @@ func OverheadVsK(ks []int, kd, steps int) (*report.Table, error) {
 
 // Codecs regenerates E3: compression ratio against decompression cost
 // across the codec spectrum, and the end-to-end effect of the choice.
+// Alongside the modeled cycle costs it reports *measured* codec
+// throughput (MB/s of uncompressed bytes, via compress.Measure's
+// scratch-reusing loop) so the host-side cost of each codec is visible
+// next to the simulated one.
 func Codecs(kc, steps int) (*report.Table, error) {
 	all, err := workloads.Suite()
 	if err != nil {
 		return nil, err
 	}
 	tb := report.NewTable(fmt.Sprintf("E3: codec study (on-demand, kc=%d)", kc),
-		"workload", "codec", "ratio", "overhead", "avg-saving", "demand-stall-cyc")
+		"workload", "codec", "ratio", "comp-MB/s", "decomp-MB/s", "overhead", "avg-saving", "demand-stall-cyc")
 	for _, w := range all {
 		code, err := w.Program.CodeBytes()
 		if err != nil {
 			return nil, err
 		}
+		blocks, err := w.Program.AllBlockBytes()
+		if err != nil {
+			return nil, err
+		}
 		for _, name := range compress.Names() {
 			codec, err := compress.New(name, code)
+			if err != nil {
+				return nil, err
+			}
+			st, err := compress.Measure(codec, blocks)
 			if err != nil {
 				return nil, err
 			}
@@ -163,6 +175,7 @@ func Codecs(kc, steps int) (*report.Table, error) {
 			}
 			tb.AddRow(w.Name, name,
 				report.Pct(float64(res.CompressedSize)/float64(res.UncompressedSize)),
+				fmt.Sprintf("%.0f", st.CompressMBps()), fmt.Sprintf("%.0f", st.DecompressMBps()),
 				report.Pct(res.Overhead()), report.Pct(res.AvgSaving()), res.DemandStallCycles)
 		}
 	}

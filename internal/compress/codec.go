@@ -13,12 +13,46 @@
 // All codecs are deterministic and self-contained: Decompress(Compress(b))
 // == b with no out-of-band state beyond the codec value itself (trained
 // codecs embed their model).
+//
+// # Buffer ownership
+//
+// The primary codec API is append-style: CompressAppend and
+// DecompressAppend append their output to a caller-owned dst (which may
+// be nil) and return the extended slice, exactly like the built-in
+// append. The rules every codec obeys and every caller may rely on:
+//
+//   - dst[:len(dst)] is preserved verbatim; output is appended after it.
+//   - dst must not alias src. The codecs read src while writing the
+//     returned slice, so overlap corrupts output (and for LZSS,
+//     back-references would read half-written data).
+//   - The returned slice is owned by the caller; codecs retain no
+//     reference to it or to src after returning.
+//   - On error, the returned slice is nil and dst's backing array holds
+//     undefined bytes past len(dst); reuse it only via dst[:0].
+//   - MaxCompressedLen(n) bounds the bytes CompressAppend appends for an
+//     n-byte src, so a dst with that much free capacity is never grown.
+//     DecompressAppend has no static bound; it grows dst as needed
+//     (bounded by the length header or the input size for the
+//     header-less codecs).
+//   - Codecs are safe for concurrent use after construction: training
+//     happens in the factory and all per-call state is stack-local or
+//     pooled internally.
+//
+// GetBuf/PutBuf expose the package's size-classed buffer pool for
+// callers that want steady-state-allocation-free (de)compression; see
+// bufpool.go for the pool discipline.
+//
+// Compress and Decompress remain as thin convenience wrappers that
+// allocate a fresh slice per call (CompressAppend(nil, src)); cold
+// paths and tests use them, hot paths use the append forms.
 package compress
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 )
 
 // CostModel describes the cycle cost of running a codec on one block, as
@@ -45,15 +79,28 @@ func (m CostModel) DecompressCycles(n int) int64 {
 	return int64(m.DecompressFixed) + int64(m.DecompressPerByte)*int64(n)
 }
 
-// Codec compresses and decompresses basic-block byte images.
+// Codec compresses and decompresses basic-block byte images. See the
+// package comment for the buffer-ownership rules of the append forms.
 type Codec interface {
 	// Name identifies the codec (registry key).
 	Name() string
-	// Compress returns the compressed form of src. Codecs may return a
-	// form longer than src for incompressible input; callers that care
-	// should compare sizes.
+	// CompressAppend appends the compressed form of src to dst and
+	// returns the extended slice. Codecs may produce a form longer than
+	// src for incompressible input; callers that care should compare
+	// sizes. dst must not alias src.
+	CompressAppend(dst, src []byte) ([]byte, error)
+	// DecompressAppend appends the decompressed form of src to dst and
+	// returns the extended slice, inverting CompressAppend. dst must
+	// not alias src.
+	DecompressAppend(dst, src []byte) ([]byte, error)
+	// MaxCompressedLen bounds the bytes CompressAppend appends for an
+	// n-byte input, for exact dst pre-sizing.
+	MaxCompressedLen(n int) int
+	// Compress is the allocating convenience form:
+	// CompressAppend(nil, src).
 	Compress(src []byte) ([]byte, error)
-	// Decompress inverts Compress.
+	// Decompress is the allocating convenience form:
+	// DecompressAppend(nil, src).
 	Decompress(src []byte) ([]byte, error)
 	// Cost returns the codec's cycle cost model.
 	Cost() CostModel
@@ -123,18 +170,64 @@ type BlockStats struct {
 	OriginalBytes        int
 	CompressedBytes      int
 	IncompressibleBlocks int // blocks whose compressed form was not smaller
+
+	CompressTime   time.Duration // wall time spent in CompressAppend
+	DecompressTime time.Duration // wall time spent in DecompressAppend
 }
 
 // Ratio returns the aggregate compression ratio.
 func (s BlockStats) Ratio() float64 { return Ratio(s.OriginalBytes, s.CompressedBytes) }
 
-// Measure compresses every block with the codec and aggregates sizes.
+// CompressMBps returns the measured compression throughput in
+// megabytes of uncompressed input per second; 0 when unmeasured.
+func (s BlockStats) CompressMBps() float64 { return mbps(s.OriginalBytes, s.CompressTime) }
+
+// DecompressMBps returns the measured decompression throughput in
+// megabytes of uncompressed output per second; 0 when unmeasured.
+func (s BlockStats) DecompressMBps() float64 { return mbps(s.OriginalBytes, s.DecompressTime) }
+
+func mbps(bytes int, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) / d.Seconds() / (1 << 20)
+}
+
+// Measure compresses and decompresses every block with the codec,
+// aggregating sizes and per-direction throughput. One pooled scratch
+// buffer is reused across all blocks in each direction, so the
+// measurement reflects codec cost, not allocator churn; each round trip
+// is also verified against the source block.
 func Measure(c Codec, blocks [][]byte) (BlockStats, error) {
 	var s BlockStats
+	maxLen := 0
+	for _, b := range blocks {
+		if len(b) > maxLen {
+			maxLen = len(b)
+		}
+	}
+	comp := GetBuf(c.MaxCompressedLen(maxLen))
+	plain := GetBuf(maxLen)
+	defer func() {
+		PutBuf(comp)
+		PutBuf(plain)
+	}()
 	for i, b := range blocks {
-		comp, err := c.Compress(b)
+		var err error
+		t0 := time.Now()
+		comp, err = c.CompressAppend(comp[:0], b)
+		s.CompressTime += time.Since(t0)
 		if err != nil {
 			return s, fmt.Errorf("compress: block %d: %w", i, err)
+		}
+		t0 = time.Now()
+		plain, err = c.DecompressAppend(plain[:0], comp)
+		s.DecompressTime += time.Since(t0)
+		if err != nil {
+			return s, fmt.Errorf("compress: block %d: decompress: %w", i, err)
+		}
+		if !bytes.Equal(plain, b) {
+			return s, fmt.Errorf("compress: block %d: %s round trip mismatch", i, c.Name())
 		}
 		s.Blocks++
 		s.OriginalBytes += len(b)
@@ -154,17 +247,18 @@ func NewIdentity() Codec { return identity{} }
 
 func (identity) Name() string { return "identity" }
 
-func (identity) Compress(src []byte) ([]byte, error) {
-	out := make([]byte, len(src))
-	copy(out, src)
-	return out, nil
+func (identity) MaxCompressedLen(n int) int { return n }
+
+func (identity) CompressAppend(dst, src []byte) ([]byte, error) {
+	return append(dst, src...), nil
 }
 
-func (identity) Decompress(src []byte) ([]byte, error) {
-	out := make([]byte, len(src))
-	copy(out, src)
-	return out, nil
+func (identity) DecompressAppend(dst, src []byte) ([]byte, error) {
+	return append(dst, src...), nil
 }
+
+func (c identity) Compress(src []byte) ([]byte, error)   { return c.CompressAppend(nil, src) }
+func (c identity) Decompress(src []byte) ([]byte, error) { return c.DecompressAppend(nil, src) }
 
 func (identity) Cost() CostModel { return CostModel{} }
 

@@ -250,6 +250,10 @@ func TestCorruptInputs(t *testing.T) {
 		{"huffman", []byte{200}},           // claims 200 bytes, no stream
 		{"dict", []byte{}},                 // no header
 		{"dict", []byte{100}},              // claims 100 bytes, no stream
+		// Length header of 2^63: would wrap int(n) negative and panic
+		// the slice bounds if not rejected up front.
+		{"dict", []byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01}},
+		{"huffman", []byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01}},
 	}
 	for _, c := range cases {
 		codec, err := New(c.name, train)

@@ -3,6 +3,7 @@ package compress
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 	"sort"
 
 	"apbcc/internal/isa"
@@ -75,8 +76,15 @@ func (d *dict) Cost() CostModel {
 	}
 }
 
-func (d *dict) Compress(src []byte) ([]byte, error) {
-	out := binary.AppendUvarint(nil, uint64(len(src)))
+// MaxCompressedLen is the uvarint header, one tag byte per group of 8
+// words, the worst case of every word stored raw, and the raw tail.
+func (d *dict) MaxCompressedLen(n int) int {
+	nWords := n / isa.WordSize
+	return binary.MaxVarintLen64 + (nWords+7)/8 + n
+}
+
+func (d *dict) CompressAppend(dst, src []byte) ([]byte, error) {
+	out := binary.AppendUvarint(dst, uint64(len(src)))
 	nWords := len(src) / isa.WordSize
 	for g := 0; g < nWords; g += 8 {
 		end := g + 8
@@ -99,13 +107,18 @@ func (d *dict) Compress(src []byte) ([]byte, error) {
 	return out, nil
 }
 
-func (d *dict) Decompress(src []byte) ([]byte, error) {
+func (d *dict) DecompressAppend(dst, src []byte) ([]byte, error) {
 	n, hdr := binary.Uvarint(src)
-	if hdr <= 0 {
+	// The MaxInt32 cap keeps every derived int (nWords, tail) safely
+	// positive: a 2^63-range header would otherwise wrap int(n)
+	// negative and slip past the truncation checks.
+	if hdr <= 0 || n > math.MaxInt32 {
 		return nil, fmt.Errorf("%w: bad dict length header", ErrCorrupt)
 	}
 	src = src[hdr:]
-	out := make([]byte, 0, n)
+	// Each compressed word is at least an index byte (-> one 4-byte
+	// word out), which bounds what a corrupt header can pre-allocate.
+	out := growCap(dst, clampGrow(n, isa.WordSize*len(src)+isa.WordSize))
 	nWords := int(n) / isa.WordSize
 	pos := 0
 	for g := 0; g < nWords; g += 8 {
@@ -145,6 +158,9 @@ func (d *dict) Decompress(src []byte) ([]byte, error) {
 	out = append(out, src[pos:pos+tail]...)
 	return out, nil
 }
+
+func (d *dict) Compress(src []byte) ([]byte, error)   { return d.CompressAppend(nil, src) }
+func (d *dict) Decompress(src []byte) ([]byte, error) { return d.DecompressAppend(nil, src) }
 
 func init() {
 	Register("dict", func(train []byte) (Codec, error) { return NewDict(train), nil })

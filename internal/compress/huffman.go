@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"encoding/binary"
 	"fmt"
+	"math"
 )
 
 // huffman is a shared-model canonical Huffman codec. The model (one
@@ -156,8 +157,14 @@ func (h *huffman) Cost() CostModel {
 	}
 }
 
-func (h *huffman) Compress(src []byte) ([]byte, error) {
-	out := binary.AppendUvarint(nil, uint64(len(src)))
+// MaxCompressedLen is 2n (the depth bound is 16 bits per symbol) plus
+// the uvarint length header.
+func (h *huffman) MaxCompressedLen(n int) int {
+	return 2*n + binary.MaxVarintLen64
+}
+
+func (h *huffman) CompressAppend(dst, src []byte) ([]byte, error) {
+	out := binary.AppendUvarint(dst, uint64(len(src)))
 	var acc uint64
 	var nbits uint
 	for _, b := range src {
@@ -174,19 +181,24 @@ func (h *huffman) Compress(src []byte) ([]byte, error) {
 	return out, nil
 }
 
-func (h *huffman) Decompress(src []byte) ([]byte, error) {
+func (h *huffman) DecompressAppend(dst, src []byte) ([]byte, error) {
 	n, hdr := binary.Uvarint(src)
-	if hdr <= 0 {
+	// Same MaxInt32 cap as dict: keep int conversions of n positive.
+	if hdr <= 0 || n > math.MaxInt32 {
 		return nil, fmt.Errorf("%w: bad huffman length header", ErrCorrupt)
 	}
 	src = src[hdr:]
-	out := make([]byte, 0, n)
+	// Pre-grow by the claimed output size, capped by what the stream
+	// could actually encode (>= 1 bit per symbol) so a corrupt header
+	// cannot force a huge allocation before the stream-exhausted check.
+	out := growCap(dst, clampGrow(n, 8*len(src)))
+	base := len(dst)
 	var code uint32
 	var length int
 	bitPos := 0
-	for uint64(len(out)) < n {
+	for uint64(len(out)-base) < n {
 		if bitPos >= len(src)*8 {
-			return nil, fmt.Errorf("%w: huffman stream exhausted at %d/%d bytes", ErrCorrupt, len(out), n)
+			return nil, fmt.Errorf("%w: huffman stream exhausted at %d/%d bytes", ErrCorrupt, len(out)-base, n)
 		}
 		bit := src[bitPos/8] >> (7 - uint(bitPos%8)) & 1
 		bitPos++
@@ -204,6 +216,9 @@ func (h *huffman) Decompress(src []byte) ([]byte, error) {
 	}
 	return out, nil
 }
+
+func (h *huffman) Compress(src []byte) ([]byte, error)   { return h.CompressAppend(nil, src) }
+func (h *huffman) Decompress(src []byte) ([]byte, error) { return h.DecompressAppend(nil, src) }
 
 func init() {
 	Register("huffman", func(train []byte) (Codec, error) { return NewHuffman(train), nil })

@@ -1,6 +1,10 @@
 package compress
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+	"sync"
+)
 
 // lzss is a classic LZSS codec: a 4KiB sliding window, 3..18-byte
 // matches encoded as 16-bit (offset:12, length-3:4) tokens, and flag
@@ -13,7 +17,20 @@ const (
 	lzWindow   = 4096
 	lzMinMatch = 3
 	lzMaxMatch = lzMinMatch + 15
+	lzHashSize = 1 << 13
 )
+
+// lzssMatcher is the per-call hash-chain state of the compressor:
+// head[h] is the most recent position with 3-byte hash h; prev links
+// positions sharing a hash (bounded chain search). It is pooled so
+// steady-state compression allocates nothing — the head table alone is
+// 32 KiB and used to be rebuilt on every Compress call.
+type lzssMatcher struct {
+	head [lzHashSize]int32
+	prev []int32
+}
+
+var lzssMatchers = sync.Pool{New: func() any { return new(lzssMatcher) }}
 
 // NewLZSS returns the LZSS codec.
 func NewLZSS() Codec { return lzss{} }
@@ -27,18 +44,26 @@ func (lzss) Cost() CostModel {
 	}
 }
 
-func (lzss) Compress(src []byte) ([]byte, error) {
-	out := make([]byte, 0, len(src)+len(src)/8+4)
-	// head[h] is the most recent position with 3-byte hash h; prev links
-	// positions sharing a hash (bounded chain search).
-	const hashSize = 1 << 13
-	head := make([]int, hashSize)
-	for i := range head {
-		head[i] = -1
+// MaxCompressedLen is n plus one flag byte per 8 literals (worst case:
+// nothing matches) plus one trailing flag byte.
+func (lzss) MaxCompressedLen(n int) int { return n + (n+7)/8 + 1 }
+
+func (lzss) CompressAppend(dst, src []byte) ([]byte, error) {
+	if len(src) > math.MaxInt32 {
+		return nil, fmt.Errorf("compress: lzss input %d bytes exceeds 2 GiB", len(src))
 	}
-	prev := make([]int, len(src))
+	out := dst
+	m := lzssMatchers.Get().(*lzssMatcher)
+	defer lzssMatchers.Put(m)
+	for i := range m.head {
+		m.head[i] = -1
+	}
+	if cap(m.prev) < len(src) {
+		m.prev = make([]int32, len(src))
+	}
+	prev := m.prev[:len(src)]
 	hash := func(i int) int {
-		return int(uint32(src[i])<<7^uint32(src[i+1])<<4^uint32(src[i+2])) & (hashSize - 1)
+		return int(uint32(src[i])<<7^uint32(src[i+1])<<4^uint32(src[i+2])) & (lzHashSize - 1)
 	}
 
 	var flagPos int
@@ -64,7 +89,7 @@ func (lzss) Compress(src []byte) ([]byte, error) {
 		bestLen, bestOff := 0, 0
 		if i+lzMinMatch <= len(src) {
 			h := hash(i)
-			cand := head[h]
+			cand := int(m.head[h])
 			for tries := 0; cand >= 0 && i-cand <= lzWindow-1 && tries < 32; tries++ {
 				l := 0
 				max := len(src) - i
@@ -77,14 +102,14 @@ func (lzss) Compress(src []byte) ([]byte, error) {
 				if l > bestLen {
 					bestLen, bestOff = l, i-cand
 				}
-				cand = prev[cand]
+				cand = int(prev[cand])
 			}
 		}
 		insert := func(pos int) {
 			if pos+lzMinMatch <= len(src) {
 				h := hash(pos)
-				prev[pos] = head[h]
-				head[h] = pos
+				prev[pos] = m.head[h]
+				m.head[h] = int32(pos)
 			}
 		}
 		if bestLen >= lzMinMatch {
@@ -103,8 +128,9 @@ func (lzss) Compress(src []byte) ([]byte, error) {
 	return out, nil
 }
 
-func (lzss) Decompress(src []byte) ([]byte, error) {
-	out := make([]byte, 0, len(src)*2)
+func (lzss) DecompressAppend(dst, src []byte) ([]byte, error) {
+	out := dst
+	base := len(dst) // back-references must never reach into dst's prefix
 	i := 0
 	for i < len(src) {
 		flags := src[i]
@@ -130,8 +156,8 @@ func (lzss) Decompress(src []byte) ([]byte, error) {
 			i += 2
 			off := int(token >> 4)
 			length := int(token&0xf) + lzMinMatch
-			if off == 0 || off > len(out) {
-				return nil, fmt.Errorf("%w: LZSS offset %d beyond %d output bytes", ErrCorrupt, off, len(out))
+			if off == 0 || off > len(out)-base {
+				return nil, fmt.Errorf("%w: LZSS offset %d beyond %d output bytes", ErrCorrupt, off, len(out)-base)
 			}
 			for j := 0; j < length; j++ {
 				out = append(out, out[len(out)-off])
@@ -140,6 +166,9 @@ func (lzss) Decompress(src []byte) ([]byte, error) {
 	}
 	return out, nil
 }
+
+func (c lzss) Compress(src []byte) ([]byte, error)   { return c.CompressAppend(nil, src) }
+func (c lzss) Decompress(src []byte) ([]byte, error) { return c.DecompressAppend(nil, src) }
 
 func init() {
 	Register("lzss", func([]byte) (Codec, error) { return NewLZSS(), nil })

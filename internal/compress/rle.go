@@ -30,8 +30,12 @@ func (rle) Cost() CostModel {
 	}
 }
 
-func (rle) Compress(src []byte) ([]byte, error) {
-	out := make([]byte, 0, len(src)/2+8)
+// MaxCompressedLen is 3n: the worst case is every input byte being the
+// escape byte, each emitted as a 3-byte token.
+func (rle) MaxCompressedLen(n int) int { return 3 * n }
+
+func (rle) CompressAppend(dst, src []byte) ([]byte, error) {
+	out := dst
 	for i := 0; i < len(src); {
 		b := src[i]
 		run := 1
@@ -50,8 +54,8 @@ func (rle) Compress(src []byte) ([]byte, error) {
 	return out, nil
 }
 
-func (rle) Decompress(src []byte) ([]byte, error) {
-	out := make([]byte, 0, len(src)*2)
+func (rle) DecompressAppend(dst, src []byte) ([]byte, error) {
+	out := dst
 	for i := 0; i < len(src); {
 		b := src[i]
 		if b != rleEscape {
@@ -73,6 +77,9 @@ func (rle) Decompress(src []byte) ([]byte, error) {
 	}
 	return out, nil
 }
+
+func (c rle) Compress(src []byte) ([]byte, error)   { return c.CompressAppend(nil, src) }
+func (c rle) Decompress(src []byte) ([]byte, error) { return c.DecompressAppend(nil, src) }
 
 func init() {
 	Register("rle", func([]byte) (Codec, error) { return NewRLE(), nil })

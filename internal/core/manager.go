@@ -179,7 +179,16 @@ func (m *Manager) buildUnits() error {
 		u.blocks = append(u.blocks, b.ID)
 	}
 
-	// Build unit images in block-ID order and compress.
+	// Build unit images in block-ID order and compress. One pooled
+	// scratch pair is reused across all units for the compressed form
+	// and the verification round trip; only the exact-size compressed
+	// image is retained per unit.
+	scratch := compress.GetBuf(0)
+	back := compress.GetBuf(0)
+	defer func() {
+		compress.PutBuf(scratch)
+		compress.PutBuf(back)
+	}()
 	for _, u := range m.units {
 		sort.Slice(u.blocks, func(i, j int) bool { return u.blocks[i] < u.blocks[j] })
 		for _, bid := range u.blocks {
@@ -190,18 +199,30 @@ func (m *Manager) buildUnits() error {
 			m.blockUnitStart[bid] = len(u.plain)
 			u.plain = append(u.plain, img...)
 		}
-		comp, err := m.conf.Codec.Compress(u.plain)
+		// Re-class the scratch buffers instead of letting append grow
+		// them past their pool class (grown buffers would be dropped by
+		// PutBuf).
+		if need := m.conf.Codec.MaxCompressedLen(len(u.plain)); cap(scratch) < need {
+			compress.PutBuf(scratch)
+			scratch = compress.GetBuf(need)
+		}
+		if cap(back) < len(u.plain) {
+			compress.PutBuf(back)
+			back = compress.GetBuf(len(u.plain))
+		}
+		var err error
+		scratch, err = m.conf.Codec.CompressAppend(scratch[:0], u.plain)
 		if err != nil {
 			return fmt.Errorf("core: compressing unit %d: %w", u.id, err)
 		}
-		back, err := m.conf.Codec.Decompress(comp)
+		back, err = m.conf.Codec.DecompressAppend(back[:0], scratch)
 		if err != nil {
 			return fmt.Errorf("core: verifying unit %d: %w", u.id, err)
 		}
 		if !bytes.Equal(back, u.plain) {
 			return fmt.Errorf("core: codec %s round-trip mismatch on unit %d", m.conf.Codec.Name(), u.id)
 		}
-		u.comp = comp
+		u.comp = bytes.Clone(scratch)
 	}
 
 	// Index branch sites by target unit, skipping unit-internal sites
@@ -730,6 +751,16 @@ func (m *Manager) PlainImage(id UnitID) []byte {
 	return append([]byte(nil), m.units[id].plain...)
 }
 
+// UnitPlainView returns a unit's original uncompressed image without
+// copying. Unit images are immutable after NewManager, so the view is
+// safe to read from any goroutine for the Manager's lifetime; callers
+// must not mutate or retain it past that.
+func (m *Manager) UnitPlainView(id UnitID) []byte { return m.units[id].plain }
+
+// UnitCompressedView returns a unit's compressed image without copying,
+// under the same immutability contract as UnitPlainView.
+func (m *Manager) UnitCompressedView(id UnitID) []byte { return m.units[id].comp }
+
 // CopyBytes returns the decompressed image of a live unit, validating
 // the content against the original program bytes. Tests use it to prove
 // the runtime executes exactly the original code.
@@ -738,7 +769,7 @@ func (m *Manager) CopyBytes(id UnitID) ([]byte, error) {
 	if u.state != stateLive && u.state != stateIssued {
 		return nil, fmt.Errorf("core: unit %d has no copy", id)
 	}
-	out, err := m.conf.Codec.Decompress(u.comp)
+	out, err := m.conf.Codec.DecompressAppend(make([]byte, 0, len(u.plain)), u.comp)
 	if err != nil {
 		return nil, err
 	}

@@ -22,6 +22,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"math"
+	"runtime"
+	"sync"
 
 	"apbcc/internal/cfg"
 	"apbcc/internal/compress"
@@ -45,12 +47,27 @@ var (
 
 // Pack serializes the program with every block compressed by the
 // codec. The codec must be registered with a model unmarshaler (all
-// built-in codecs are).
+// built-in codecs are). It is PackParallel with one worker.
 func Pack(p *program.Program, codec compress.Codec) ([]byte, error) {
+	return PackParallel(p, codec, 1)
+}
+
+// PackParallel is Pack with block compression fanned out over the given
+// number of workers (0 or negative selects GOMAXPROCS). Each worker
+// compresses its stride of blocks into its own pooled scratch buffer;
+// payloads are assembled in block order afterwards, so the container is
+// byte-identical for every worker count. The codec must be safe for
+// concurrent use (all built-in codecs are — per-call state is
+// stack-local or pooled).
+func PackParallel(p *program.Program, codec compress.Codec, workers int) ([]byte, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	plain, err := p.CodeBytes()
+	if err != nil {
+		return nil, err
+	}
+	payloads, err := compressBlocks(p, codec, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -66,19 +83,11 @@ func Pack(p *program.Program, codec compress.Codec) ([]byte, error) {
 	g := p.Graph
 	writeUvarint(&buf, uint64(g.Entry()))
 	writeUvarint(&buf, uint64(g.NumBlocks()))
-	for _, b := range g.Blocks() {
+	for i, b := range g.Blocks() {
 		writeBytes(&buf, []byte(b.Label))
 		writeBytes(&buf, []byte(b.Func))
 		writeUvarint(&buf, uint64(b.Words()))
-		img, err := p.BlockBytes(b.ID)
-		if err != nil {
-			return nil, err
-		}
-		comp, err := codec.Compress(img)
-		if err != nil {
-			return nil, fmt.Errorf("pack: block %s: %w", b, err)
-		}
-		writeBytes(&buf, comp)
+		writeBytes(&buf, payloads[i])
 	}
 	var edges []cfg.Edge
 	for _, b := range g.Blocks() {
@@ -94,6 +103,61 @@ func Pack(p *program.Program, codec compress.Codec) ([]byte, error) {
 		buf.Write(p64[:])
 	}
 	return buf.Bytes(), nil
+}
+
+// compressBlocks compresses every block image, returning payloads
+// indexed in g.Blocks() order. Workers take strided indices so the
+// result is position-deterministic regardless of scheduling; each
+// worker reuses one pooled scratch buffer and retains only exact-size
+// payload copies.
+func compressBlocks(p *program.Program, codec compress.Codec, workers int) ([][]byte, error) {
+	blocks := p.Graph.Blocks()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(blocks) {
+		workers = len(blocks)
+	}
+	payloads := make([][]byte, len(blocks))
+	stride := func(start int) error {
+		scratch := compress.GetBuf(0)
+		defer func() { compress.PutBuf(scratch) }()
+		for i := start; i < len(blocks); i += workers {
+			img, err := p.BlockBytes(blocks[i].ID)
+			if err != nil {
+				return err
+			}
+			if need := codec.MaxCompressedLen(len(img)); cap(scratch) < need {
+				compress.PutBuf(scratch)
+				scratch = compress.GetBuf(need)
+			}
+			scratch, err = codec.CompressAppend(scratch[:0], img)
+			if err != nil {
+				return fmt.Errorf("pack: block %s: %w", blocks[i], err)
+			}
+			payloads[i] = bytes.Clone(scratch)
+		}
+		return nil
+	}
+	if workers <= 1 {
+		return payloads, stride(0)
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			errs[w] = stride(w)
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return payloads, nil
 }
 
 // Info summarizes a container without fully unpacking it.
@@ -147,16 +211,18 @@ func Unpack(name string, data []byte) (*program.Program, compress.Codec, *Info, 
 		}
 		id := g.AddBlock(label, words)
 		g.Block(id).Func = fn
-		img, err := codec.Decompress(comp)
+		// Decompress straight onto the end of the accumulated image —
+		// the append API makes the reconstruction copy-free.
+		start := len(plain)
+		plain, err = codec.DecompressAppend(plain, comp)
 		if err != nil {
 			return nil, nil, nil, fmt.Errorf("pack: block %d: %w", i, err)
 		}
-		if len(img) != words*isa.WordSize {
+		if got := len(plain) - start; got != words*isa.WordSize {
 			return nil, nil, nil, fmt.Errorf("%w: block %d decompressed to %d bytes, want %d",
-				ErrCorrupt, i, len(img), words*isa.WordSize)
+				ErrCorrupt, i, got, words*isa.WordSize)
 		}
 		info.CompressedBytes += len(comp)
-		plain = append(plain, img...)
 	}
 	if err := g.SetEntry(entry); err != nil {
 		return nil, nil, nil, fmt.Errorf("%w: entry %d", ErrCorrupt, entry)

@@ -86,23 +86,35 @@ func New(m *core.Manager, codec compress.Codec) *Runtime {
 	return r
 }
 
-// decompressLoop is the decompression thread.
+// decompressLoop is the decompression thread. Unit images are
+// immutable after manager construction, so the compressed input and the
+// expected bytes are read through zero-copy views; only the produced
+// copy occupies new memory, drawn from the shared buffer pool and
+// recycled when the copy is deleted.
 func (r *Runtime) decompressLoop() {
 	defer r.wg.Done()
 	for job := range r.decompCh {
+		comp := r.m.UnitCompressedView(job.Unit)
+		want := r.m.UnitPlainView(job.Unit)
 		r.mu.Lock()
-		comp := r.m.CompressedImage(job.Unit)
-		want := r.m.PlainImage(job.Unit)
 		ch := r.ready[job.Unit]
 		r.mu.Unlock()
 
-		out, err := r.codec.Decompress(comp)
+		out, err := r.codec.DecompressAppend(compress.GetBuf(len(want)), comp)
 		r.mu.Lock()
 		switch {
 		case err != nil:
 			r.fail(fmt.Errorf("rt: decompression thread: unit %d: %w", job.Unit, err))
 		case !bytes.Equal(out, want):
 			r.fail(fmt.Errorf("rt: decompression thread: unit %d content mismatch", job.Unit))
+		case r.copies[job.Unit] != nil:
+			// A demand decompression (or an overtaken prefetch) raced
+			// ahead of this queued job; the stored bytes are identical,
+			// so keep them and recycle ours. Ours was never published,
+			// so pooling it here cannot race with a reader.
+			compress.PutBuf(out)
+			r.m.FinishDecompress(job.Unit)
+			r.summary.BackgroundDecompressions++
 		default:
 			r.copies[job.Unit] = out
 			r.m.FinishDecompress(job.Unit)
@@ -122,10 +134,11 @@ func (r *Runtime) compressLoop() {
 	defer r.wg.Done()
 	for job := range r.compCh {
 		if job.Kind == core.JobWriteback {
-			r.mu.Lock()
-			plain := r.m.PlainImage(job.Unit)
-			r.mu.Unlock()
-			if _, err := r.codec.Compress(plain); err != nil {
+			plain := r.m.UnitPlainView(job.Unit)
+			scratch := compress.GetBuf(r.codec.MaxCompressedLen(len(plain)))
+			out, err := r.codec.CompressAppend(scratch, plain)
+			compress.PutBuf(out)
+			if err != nil {
 				r.mu.Lock()
 				r.fail(fmt.Errorf("rt: compression thread: unit %d: %w", job.Unit, err))
 				r.mu.Unlock()
@@ -172,11 +185,12 @@ func (r *Runtime) Execute(tr *trace.Trace) (*Summary, error) {
 		unit := r.m.UnitOf(b)
 		var wait chan struct{}
 		if x.Demand != nil {
-			// Synchronous decompression on the execution thread.
-			comp := r.m.CompressedImage(unit)
-			want := r.m.PlainImage(unit)
+			// Synchronous decompression on the execution thread, into a
+			// pooled buffer sized from the known plain image.
+			comp := r.m.UnitCompressedView(unit)
+			want := r.m.UnitPlainView(unit)
 			r.mu.Unlock()
-			out, derr := r.codec.Decompress(comp)
+			out, derr := r.codec.DecompressAppend(compress.GetBuf(len(want)), comp)
 			if derr != nil {
 				return nil, fmt.Errorf("rt: demand decompression: %w", derr)
 			}
@@ -184,6 +198,12 @@ func (r *Runtime) Execute(tr *trace.Trace) (*Summary, error) {
 				return nil, fmt.Errorf("rt: demand decompression: unit %d content mismatch", unit)
 			}
 			r.mu.Lock()
+			if old := r.copies[unit]; old != nil {
+				// Stale copy left by a prefetch that completed after the
+				// unit was deleted; only this thread reads copies, so it
+				// can be recycled safely before being replaced.
+				compress.PutBuf(old)
+			}
 			r.copies[unit] = out
 			r.m.FinishDecompress(unit)
 			r.summary.DemandDecompressions++
@@ -207,7 +227,12 @@ func (r *Runtime) Execute(tr *trace.Trace) (*Summary, error) {
 		}
 		var deletes []core.Job
 		for _, d := range x.Deletes {
-			delete(r.copies, d.Unit) // the copy is logically gone now
+			// The copy is logically gone now. The entered unit is never
+			// in Deletes, so no buffer handed out this step is recycled.
+			if old := r.copies[d.Unit]; old != nil {
+				compress.PutBuf(old)
+				delete(r.copies, d.Unit)
+			}
 			deletes = append(deletes, *d)
 		}
 		r.mu.Unlock()
@@ -222,12 +247,15 @@ func (r *Runtime) Execute(tr *trace.Trace) (*Summary, error) {
 			r.compCh <- j
 		}
 
-		// "Run" the block: verify the bytes execution would fetch.
+		// "Run" the block: verify the bytes execution would fetch. The
+		// want view is immutable and the copy buffer can only be
+		// recycled by this thread, so comparing outside the lock is
+		// safe.
 		r.mu.Lock()
 		data, ok := r.copies[unit]
 		var want []byte
 		if ok {
-			want = r.m.PlainImage(unit)
+			want = r.m.UnitPlainView(unit)
 		}
 		failure := r.failure
 		r.mu.Unlock()

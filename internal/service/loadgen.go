@@ -137,6 +137,17 @@ func runClient(ctx context.Context, client *http.Client, cfg LoadConfig, seed in
 	if err != nil {
 		return cs, err
 	}
+	// One pooled decode buffer per client, reused across every fetched
+	// block — a simulated device decompresses into fixed scratch, not a
+	// fresh slice per block.
+	maxBlock := 0
+	for _, b := range want {
+		if len(b) > maxBlock {
+			maxBlock = len(b)
+		}
+	}
+	scratch := compress.GetBuf(maxBlock)
+	defer func() { compress.PutBuf(scratch) }()
 	for _, blockID := range tr.Blocks {
 		if ctx.Err() != nil {
 			return cs, ctx.Err()
@@ -157,36 +168,39 @@ func runClient(ctx context.Context, client *http.Client, cfg LoadConfig, seed in
 		if hdr.Get(HeaderCache) == "hit" {
 			cs.hits++
 		}
-		if err := verifyBlock(codec, payload, hdr, want[blockID]); err != nil {
+		var verr error
+		scratch, verr = verifyBlock(codec, payload, hdr, want[blockID], scratch)
+		if verr != nil {
 			cs.errors++
 			if cs.firstError == nil {
-				cs.firstError = fmt.Errorf("block %d: %w", blockID, err)
+				cs.firstError = fmt.Errorf("block %d: %w", blockID, verr)
 			}
 		}
 	}
 	return cs, nil
 }
 
-// verifyBlock decompresses a served payload and checks it against the
-// expected plain image and the CRC the server advertised.
-func verifyBlock(codec compress.Codec, payload []byte, hdr http.Header, want []byte) error {
-	plain, err := codec.Decompress(payload)
+// verifyBlock decompresses a served payload into scratch and checks it
+// against the expected plain image and the CRC the server advertised.
+// It returns the (possibly grown) scratch for reuse.
+func verifyBlock(codec compress.Codec, payload []byte, hdr http.Header, want, scratch []byte) ([]byte, error) {
+	plain, err := codec.DecompressAppend(scratch[:0], payload)
 	if err != nil {
-		return fmt.Errorf("decompress: %w", err)
+		return scratch, fmt.Errorf("decompress: %w", err)
 	}
 	if !bytes.Equal(plain, want) {
-		return fmt.Errorf("plain image mismatch: %d bytes vs %d expected", len(plain), len(want))
+		return plain, fmt.Errorf("plain image mismatch: %d bytes vs %d expected", len(plain), len(want))
 	}
 	if h := hdr.Get(HeaderCRC); h != "" {
 		crc, err := strconv.ParseUint(h, 16, 32)
 		if err != nil {
-			return fmt.Errorf("bad %s header %q", HeaderCRC, h)
+			return plain, fmt.Errorf("bad %s header %q", HeaderCRC, h)
 		}
 		if got := crc32.ChecksumIEEE(plain); got != uint32(crc) {
-			return fmt.Errorf("crc mismatch: %08x != %08x", got, crc)
+			return plain, fmt.Errorf("crc mismatch: %08x != %08x", got, crc)
 		}
 	}
-	return nil
+	return plain, nil
 }
 
 // fetch GETs a URL, returning the body and headers; a non-200 status is

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -276,9 +277,18 @@ func (s *Server) handleBlock(w http.ResponseWriter, r *http.Request) {
 		ctx := context.WithoutCancel(r.Context())
 		var comp []byte
 		err := s.pool.Do(ctx, func() error {
-			var cerr error
-			comp, cerr = ent.codec.Compress(plain)
-			return cerr
+			// Compress into pooled scratch; the cache retains values
+			// indefinitely, so it gets an exact-size copy and the
+			// (worst-case-sized) scratch goes back to the pool.
+			scratch := compress.GetBuf(ent.codec.MaxCompressedLen(len(plain)))
+			out, cerr := ent.codec.CompressAppend(scratch, plain)
+			if cerr != nil {
+				compress.PutBuf(scratch)
+				return cerr
+			}
+			comp = bytes.Clone(out)
+			compress.PutBuf(out)
+			return nil
 		})
 		return comp, err
 	})

@@ -130,7 +130,7 @@ func TestBlockEndpointServesVerifiableBlocks(t *testing.T) {
 		if code != http.StatusOK {
 			t.Fatalf("block %d: status %d", id, code)
 		}
-		if err := verifyBlock(codec, payload, hdr, want[id]); err != nil {
+		if _, err := verifyBlock(codec, payload, hdr, want[id], nil); err != nil {
 			t.Fatalf("block %d: %v", id, err)
 		}
 		words, _ := strconv.Atoi(hdr.Get(HeaderWords))
