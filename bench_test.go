@@ -18,6 +18,7 @@ import (
 	"apbcc/internal/core"
 	"apbcc/internal/mem"
 	"apbcc/internal/multi"
+	"apbcc/internal/policy"
 	"apbcc/internal/program"
 	"apbcc/internal/rt"
 	"apbcc/internal/sim"
@@ -277,8 +278,37 @@ func BenchmarkE3Codecs(b *testing.B) {
 	}
 }
 
-// BenchmarkE4Budget times the LRU budget mode under a tight cap.
-func BenchmarkE4Budget(b *testing.B) {
+// BenchmarkE4Policies times one E4 cell per replacement/prefetch
+// policy: the zipf workload under a tight budget with pre-all
+// lookahead, reporting each policy's hit/eviction/demand counters —
+// the tracked perf row for the policy engine itself (its bookkeeping
+// runs on every EnterBlock).
+func BenchmarkE4Policies(b *testing.B) {
+	free := runCell(b, "zipf", core.Config{CompressK: 4, Strategy: core.PreAll, DecompressK: 2})
+	budget := free.CompressedSize + (free.PeakResident-free.CompressedSize)/2
+	for _, name := range policy.Names() {
+		b.Run(name, func(b *testing.B) {
+			var res *sim.Result
+			for i := 0; i < b.N; i++ {
+				pol, err := policy.New[core.UnitID](name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res = runCell(b, "zipf", core.Config{
+					CompressK: 4, Strategy: core.PreAll, DecompressK: 2,
+					BudgetBytes: budget, Policy: pol,
+				})
+			}
+			b.ReportMetric(float64(res.Core.Hits), "hits")
+			b.ReportMetric(float64(res.Core.Evictions), "evictions")
+			b.ReportMetric(float64(res.Core.DemandDecompresses), "demand-decomp")
+			b.ReportMetric(100*res.Overhead(), "overhead-%")
+		})
+	}
+}
+
+// BenchmarkE4bBudget times the LRU budget mode under a tight cap.
+func BenchmarkE4bBudget(b *testing.B) {
 	free := runCell(b, "fft", core.Config{CompressK: 64})
 	budget := free.CompressedSize + (free.PeakResident-free.CompressedSize)/2
 	var res *sim.Result

@@ -21,8 +21,10 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"time"
 
+	"apbcc/internal/policy"
 	"apbcc/internal/report"
 	"apbcc/internal/service"
 )
@@ -35,23 +37,28 @@ func main() {
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "pack/compress worker pool size")
 		queue   = flag.Int("queue", 256, "worker pool queue depth")
 		batch   = flag.Int("batch", 8, "worker pool max batch per wakeup")
+		polName = flag.String("policy", "klru", "block-cache replacement policy: "+strings.Join(policy.Names(), " | "))
 
 		loadgen  = flag.Bool("loadgen", false, "run the load generator instead of serving")
 		target   = flag.String("target", "", "loadgen target base URL (default: in-process server)")
 		clients  = flag.Int("clients", 32, "loadgen concurrent clients")
 		steps    = flag.Int("steps", 500, "loadgen trace steps per client")
-		workload = flag.String("workload", "fft", "loadgen workload")
+		workload = flag.String("workload", "fft", "loadgen scenario list: comma-separated workload names\nassigned to clients round-robin (e.g. fft,zipf,loopphase)")
 		codec    = flag.String("codec", "dict", "loadgen block codec")
 		seed     = flag.Int64("seed", 1, "loadgen base trace seed")
 	)
 	flag.Parse()
 
+	if _, err := policy.New[int](*polName); err != nil {
+		fatal(err)
+	}
 	cfg := service.Config{
 		CacheShards: *shards,
 		CacheBytes:  *cacheMB << 20,
 		Workers:     *workers,
 		QueueDepth:  *queue,
 		MaxBatch:    *batch,
+		Policy:      *polName,
 	}
 
 	if *loadgen {
@@ -81,8 +88,8 @@ func main() {
 		defer cancel()
 		httpSrv.Shutdown(shutdownCtx)
 	}()
-	fmt.Printf("apcc-serve: listening on %s (%d shards, %d MiB cache, %d workers)\n",
-		*addr, *shards, *cacheMB, *workers)
+	fmt.Printf("apcc-serve: listening on %s (%d shards, %d MiB cache, %s eviction, %d workers)\n",
+		*addr, *shards, *cacheMB, *polName, *workers)
 	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		fatal(err)
 	}

@@ -11,9 +11,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"apbcc/internal/compress"
 	"apbcc/internal/core"
+	"apbcc/internal/policy"
 	"apbcc/internal/report"
 	"apbcc/internal/sim"
 	"apbcc/internal/trace"
@@ -28,6 +30,7 @@ func main() {
 		kc        = flag.Int("kc", 4, "compress-k (k-edge compression parameter)")
 		kd        = flag.Int("kd", 2, "decompress-k (pre-decompression lookahead)")
 		predictor = flag.String("predictor", "markov", "static | markov | profiled (pre-single only)")
+		polName   = flag.String("policy", "klru", "replacement/prefetch policy: "+strings.Join(policy.Names(), " | "))
 		budget    = flag.Int("budget", 0, "resident-memory budget in bytes (0 = unlimited)")
 		gran      = flag.String("gran", "block", "compression granularity: block | function")
 		steps     = flag.Int("steps", 20000, "trace length in block visits")
@@ -64,6 +67,10 @@ func main() {
 		fatal(err)
 	}
 
+	pol, err := policy.New[core.UnitID](*polName)
+	if err != nil {
+		fatal(err)
+	}
 	conf := core.Config{
 		Codec:                codec,
 		CompressK:            *kc,
@@ -71,6 +78,7 @@ func main() {
 		BudgetBytes:          *budget,
 		WritebackCompression: *writeback,
 		StrictCounters:       *strict,
+		Policy:               pol,
 	}
 	switch *strategy {
 	case "on-demand":
@@ -128,8 +136,8 @@ func main() {
 	}
 
 	fmt.Printf("workload %s: %s\n", w.Name, w.Desc)
-	fmt.Printf("config: codec=%s strategy=%s kc=%d kd=%d gran=%s budget=%d\n\n",
-		codec.Name(), conf.Strategy, conf.CompressK, conf.DecompressK, conf.Granularity, conf.BudgetBytes)
+	fmt.Printf("config: codec=%s strategy=%s policy=%s kc=%d kd=%d gran=%s budget=%d\n\n",
+		codec.Name(), conf.Strategy, m.PolicyName(), conf.CompressK, conf.DecompressK, conf.Granularity, conf.BudgetBytes)
 
 	mem := report.NewTable("memory", "metric", "bytes", "vs uncompressed")
 	mem.AddRow("uncompressed image", res.UncompressedSize, "100.0%")
@@ -155,17 +163,17 @@ func main() {
 	fmt.Print(perf)
 	fmt.Printf("overhead %s, hit rate %s\n\n", report.Pct(res.Overhead()), report.Pct(res.HitRate()))
 
-	pol := report.NewTable("policy counters", "counter", "count")
-	pol.AddRow("block entries", res.Core.Entries)
-	pol.AddRow("exceptions", res.Core.Exceptions)
-	pol.AddRow("demand decompressions", res.Core.DemandDecompresses)
-	pol.AddRow("prefetches issued", res.Core.Prefetches)
-	pol.AddRow("prefetch in-flight hits", res.Core.PrefetchHits)
-	pol.AddRow("k-edge deletes", res.Core.Deletes)
-	pol.AddRow("wasted prefetches", res.Core.WastedPrefetches)
-	pol.AddRow("branch patches", res.Core.Patches)
-	pol.AddRow("budget evictions", res.Core.Evictions)
-	fmt.Print(pol)
+	pc := report.NewTable("policy counters", "counter", "count")
+	pc.AddRow("block entries", res.Core.Entries)
+	pc.AddRow("exceptions", res.Core.Exceptions)
+	pc.AddRow("demand decompressions", res.Core.DemandDecompresses)
+	pc.AddRow("prefetches issued", res.Core.Prefetches)
+	pc.AddRow("prefetch in-flight hits", res.Core.PrefetchHits)
+	pc.AddRow("k-edge deletes", res.Core.Deletes)
+	pc.AddRow("wasted prefetches", res.Core.WastedPrefetches)
+	pc.AddRow("branch patches", res.Core.Patches)
+	pc.AddRow("budget evictions", res.Core.Evictions)
+	fmt.Print(pc)
 }
 
 func fatal(err error) {

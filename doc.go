@@ -16,11 +16,13 @@
 //	compress   block codecs (dict, lzss, huffman, rle, identity) + cost models
 //	mem        software-managed code memory (arena allocator, image, occupancy)
 //	trace      block access traces, profiles, predictors
+//	policy     pluggable replacement & prefetch engine (paper k-edge LRU,
+//	           LFU, GreedyDual-Size cost-aware, Markov beam prefetch)
 //	core       the paper's runtime: k-edge compression, pre-decompression,
-//	           remember sets, budget/LRU — the primary contribution
+//	           remember sets, budget eviction — the primary contribution
 //	sim        deterministic three-thread cycle simulator
 //	rt         goroutine-based concurrent runtime (race-clean)
-//	workloads  nine-kernel synthetic embedded benchmark suite
+//	workloads  eleven-kernel synthetic embedded benchmark suite
 //	bench      experiment harnesses (the tables in EXPERIMENTS.md)
 //	report     text tables / CSV
 //	pack       deployable compressed-image containers (the APCC format)

@@ -12,6 +12,7 @@ import (
 	"apbcc/internal/core"
 	"apbcc/internal/mem"
 	"apbcc/internal/multi"
+	"apbcc/internal/policy"
 	"apbcc/internal/report"
 	"apbcc/internal/sim"
 	"apbcc/internal/trace"
@@ -182,16 +183,102 @@ func Codecs(kc, steps int) (*report.Table, error) {
 	return tb, nil
 }
 
-// Budget regenerates E4: Section 2's memory-budget mode. The budget is
-// swept as a fraction of the gap between the compressed minimum and the
-// uncompressed image.
+// policyWorkloads is the E4 comparison set: the Zipf-skewed dispatch
+// and recurring-phase scenarios built for policy comparison, plus the
+// phase-sequential and cold-dispatch originals.
+var policyWorkloads = []string{"zipf", "loopphase", "jpegdct", "mpeg2motion"}
+
+// Policies regenerates E4: the replacement & prefetch policy
+// comparison. Every policy in the engine runs the same workloads under
+// the same memory budget (halfway between the compressed floor and the
+// unconstrained peak, from a default-policy probe) with
+// pre-decompression enabled, so victim selection and prefetch scoring
+// both matter. The table reports the policy-level counters the
+// acceptance of the paper's scheme turns on: hits, evictions,
+// demand decompressions, prefetches and the end-to-end overhead.
+func Policies(kc, kd, steps int) (*report.Table, error) {
+	tb := report.NewTable(fmt.Sprintf("E4: replacement & prefetch policies (pre-all, kc=%d, kd=%d, budget=floor+gap/2)", kc, kd),
+		"workload", "policy", "hits", "evictions", "demand-decomp", "prefetches", "wasted", "overhead", "avg-resident")
+	for _, name := range policyWorkloads {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		// Probe with the default policy, unconstrained, to size the
+		// budget every policy then competes under.
+		probe, err := RunCell(w, withStrategy(w, core.Config{CompressK: kc}, core.PreAll, kd), steps)
+		if err != nil {
+			return nil, err
+		}
+		budget := probe.CompressedSize + (probe.PeakResident-probe.CompressedSize)/2
+		// Feasibility is checked up front (the budget must fit the
+		// compressed area plus the largest unit) so that any error out
+		// of a cell below is a real failure, never shrugged off as a
+		// budget limitation.
+		largest, err := largestUnitBytes(w, kc)
+		if err != nil {
+			return nil, err
+		}
+		if budget < probe.CompressedSize+largest {
+			for _, polName := range policy.Names() {
+				tb.AddRow(w.Name, polName, "infeasible", "-", "-", "-", "-", "-", "-")
+			}
+			continue
+		}
+		for _, polName := range policy.Names() {
+			pol, err := policy.New[core.UnitID](polName)
+			if err != nil {
+				return nil, err
+			}
+			conf := withStrategy(w, core.Config{CompressK: kc, BudgetBytes: budget, Policy: pol}, core.PreAll, kd)
+			res, err := RunCell(w, conf, steps)
+			if err != nil {
+				return nil, fmt.Errorf("bench: E4 %s/%s: %w", w.Name, polName, err)
+			}
+			tb.AddRow(w.Name, polName, res.Core.Hits, res.Core.Evictions,
+				res.Core.DemandDecompresses, res.Core.Prefetches, res.Core.WastedPrefetches,
+				report.Pct(res.Overhead()),
+				report.Pct(res.AvgResident/float64(res.UncompressedSize)))
+		}
+	}
+	return tb, nil
+}
+
+// largestUnitBytes measures the workload's largest compression unit
+// (block granularity) via a throwaway manager — the feasibility floor
+// for any resident-memory budget.
+func largestUnitBytes(w *workloads.Workload, kc int) (int, error) {
+	code, err := w.Program.CodeBytes()
+	if err != nil {
+		return 0, err
+	}
+	codec, err := compress.New("dict", code)
+	if err != nil {
+		return 0, err
+	}
+	m, err := core.NewManager(w.Program, core.Config{Codec: codec, CompressK: kc})
+	if err != nil {
+		return 0, err
+	}
+	max := 0
+	for u := 0; u < m.NumUnits(); u++ {
+		if b := m.UnitBytes(core.UnitID(u)); b > max {
+			max = b
+		}
+	}
+	return max, nil
+}
+
+// Budget regenerates E4b: Section 2's memory-budget mode under the
+// default policy. The budget is swept as a fraction of the gap between
+// the compressed minimum and the uncompressed image.
 func Budget(kc, steps int) (*report.Table, error) {
 	all, err := workloads.Suite()
 	if err != nil {
 		return nil, err
 	}
 	fractions := []float64{0.25, 0.5, 0.75, 1.0}
-	tb := report.NewTable(fmt.Sprintf("E4: LRU budget mode (on-demand, kc=%d)", kc),
+	tb := report.NewTable(fmt.Sprintf("E4b: LRU budget mode (on-demand, kc=%d)", kc),
 		"workload", "budget-frac", "budget-bytes", "peak-resident", "evictions", "overhead")
 	for _, w := range all {
 		// Establish the unconstrained peak first.

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"apbcc/internal/core"
+	"apbcc/internal/policy"
 	"apbcc/internal/workloads"
 )
 
@@ -26,20 +27,24 @@ func TestRunCellDefaultsCodec(t *testing.T) {
 }
 
 func TestHarnessesProduceFullTables(t *testing.T) {
+	// n tracks the suite size so harness shapes stay pinned as
+	// workloads are added.
+	n := len(workloads.Names())
 	cases := []struct {
 		name string
 		run  func() (interface{ NumRows() int }, error)
 		rows int
 	}{
-		{"DesignSpace", func() (interface{ NumRows() int }, error) { return DesignSpace(4, 2, steps) }, 9 * 3},
-		{"MemoryVsK", func() (interface{ NumRows() int }, error) { return MemoryVsK([]int{1, 4}, steps) }, 9 * 2},
-		{"OverheadVsK", func() (interface{ NumRows() int }, error) { return OverheadVsK([]int{2}, 2, steps) }, 9},
-		{"Codecs", func() (interface{ NumRows() int }, error) { return Codecs(4, steps) }, 9 * 5},
-		{"Budget", func() (interface{ NumRows() int }, error) { return Budget(4, steps) }, 9 * 4},
-		{"Granularity", func() (interface{ NumRows() int }, error) { return Granularity(4, steps) }, 9 * 2},
-		{"Predictors", func() (interface{ NumRows() int }, error) { return Predictors(4, 2, steps) }, 9 * 3},
-		{"CounterSemantics", func() (interface{ NumRows() int }, error) { return CounterSemantics(4, 2, steps) }, 9 * 2},
-		{"Writeback", func() (interface{ NumRows() int }, error) { return Writeback(2, steps) }, 9 * 2},
+		{"DesignSpace", func() (interface{ NumRows() int }, error) { return DesignSpace(4, 2, steps) }, n * 3},
+		{"MemoryVsK", func() (interface{ NumRows() int }, error) { return MemoryVsK([]int{1, 4}, steps) }, n * 2},
+		{"OverheadVsK", func() (interface{ NumRows() int }, error) { return OverheadVsK([]int{2}, 2, steps) }, n},
+		{"Codecs", func() (interface{ NumRows() int }, error) { return Codecs(4, steps) }, n * 5},
+		{"Policies", func() (interface{ NumRows() int }, error) { return Policies(4, 2, steps) }, len(policyWorkloads) * len(policy.Names())},
+		{"Budget", func() (interface{ NumRows() int }, error) { return Budget(4, steps) }, n * 4},
+		{"Granularity", func() (interface{ NumRows() int }, error) { return Granularity(4, steps) }, n * 2},
+		{"Predictors", func() (interface{ NumRows() int }, error) { return Predictors(4, 2, steps) }, n * 3},
+		{"CounterSemantics", func() (interface{ NumRows() int }, error) { return CounterSemantics(4, 2, steps) }, n * 2},
+		{"Writeback", func() (interface{ NumRows() int }, error) { return Writeback(2, steps) }, n * 2},
 	}
 	for _, c := range cases {
 		c := c

@@ -6,8 +6,10 @@
 //
 // The central type is Manager. It owns the modeled code memory (an
 // immutable compressed code area plus a managed area for decompressed
-// copies) and the per-unit runtime state: k-edge counters, remember
-// sets, LRU timestamps. A simulator drives it with one EnterBlock call
+// copies) and the per-unit runtime state (remember sets, copy
+// addresses), delegating the k-edge counters, victim selection and
+// prefetch scoring to a pluggable internal/policy engine (the paper's
+// own k-edge LRU by default). A simulator drives it with one EnterBlock call
 // per traversed CFG edge; the returned Transition describes everything
 // that happened (exception, patches, decompression demand, prefetches,
 // deletes, evictions) so the caller can charge cycle costs and schedule
@@ -26,6 +28,7 @@ import (
 
 	"apbcc/internal/compress"
 	"apbcc/internal/mem"
+	"apbcc/internal/policy"
 	"apbcc/internal/trace"
 )
 
@@ -120,6 +123,17 @@ type Config struct {
 	// until that job completes. The default (false) is the paper's
 	// delete-only scheme, where a discarded copy frees instantly.
 	WritebackCompression bool
+	// Policy is the replacement-and-prefetch engine the Manager
+	// delegates its victim-selection, k-edge expiry and
+	// prefetch-scoring decisions to. nil selects the paper's own
+	// policy (policy.NewPaperKLRU), which reproduces the seed
+	// Manager's behavior exactly; internal/policy provides LFU,
+	// cost-aware (GreedyDual-Size over the codec cost model) and
+	// depth-N Markov-prefetch alternatives. The Manager binds and
+	// takes ownership of the value — policies are stateful, so one
+	// value must never be shared between Managers or reused across
+	// runs.
+	Policy policy.Policy[UnitID]
 	// StrictCounters applies the k-edge counter to every decompressed
 	// unit, including pre-decompressed units that have not executed yet
 	// — the literal reading of the paper's Section 5 ("the counter of

@@ -8,8 +8,8 @@ import (
 	"apbcc/internal/cfg"
 	"apbcc/internal/compress"
 	"apbcc/internal/mem"
+	"apbcc/internal/policy"
 	"apbcc/internal/program"
-	"apbcc/internal/trace"
 )
 
 // UnitID identifies a compression unit. With GranBlock, unit IDs equal
@@ -35,12 +35,12 @@ type unit struct {
 	// units (the static half of the remember set).
 	sites []program.BranchSite
 
-	state    unitState
-	addr     mem.Addr // managed-area address when state != stateCompressed
-	counter  int      // k-edge counter; reset on execution
-	lastUse  int64    // edge clock of last execution (LRU key)
-	issuedAt int64    // edge clock of decompression issue
-	everUsed bool     // executed since last decompression (waste tracking)
+	state unitState
+	addr  mem.Addr // managed-area address when state != stateCompressed
+	// everUsed tracks whether the unit executed since its last
+	// decompression — waste accounting only; the k-edge counters and
+	// recency that used to live here are the Policy's now.
+	everUsed bool
 	// dying holds allocations awaiting the compression thread in
 	// writeback mode: discarded copies whose space is not yet reusable.
 	// FinishDelete releases them oldest-first.
@@ -86,6 +86,16 @@ type Manager struct {
 	current UnitID
 	started bool
 
+	// pol decides victims, k-edge expiry and prefetch candidates; the
+	// Manager feeds it the edge clock and enforces its verdicts.
+	pol policy.Policy[UnitID]
+	// isCompressed is the prefetch-candidate filter handed to the
+	// policy, hoisted here so the hot path allocates no closure.
+	isCompressed func(cfg.BlockID) bool
+	// ccost is the codec's cycle cost model, cached for per-insert
+	// Meta construction.
+	ccost compress.CostModel
+
 	stats  Stats
 	events []Event
 	occ    mem.Occupancy
@@ -102,6 +112,30 @@ func NewManager(p *program.Program, conf Config) (*Manager, error) {
 		return nil, err
 	}
 	m := &Manager{prog: p, conf: conf, patched: make(map[program.BranchSite]bool), sitesFrom: make(map[UnitID][]program.BranchSite), current: -1}
+	m.ccost = conf.Codec.Cost()
+	m.pol = conf.Policy
+	if m.pol == nil {
+		m.pol = policy.NewPaperKLRU[UnitID]()
+	}
+	mode := policy.PrefetchNone
+	switch conf.Strategy {
+	case PreAll:
+		mode = policy.PrefetchAll
+	case PreSingle:
+		mode = policy.PrefetchBest
+	}
+	m.pol.Bind(policy.Env{
+		Graph:      p.Graph,
+		Predictor:  conf.Predictor,
+		Mode:       mode,
+		LookaheadK: conf.DecompressK,
+		ExpireK:    conf.CompressK,
+		Strict:     conf.StrictCounters,
+		Cost:       m.ccost,
+	})
+	m.isCompressed = func(b cfg.BlockID) bool {
+		return m.units[m.unitOf[b]].state == stateCompressed
+	}
 	if err := m.buildUnits(); err != nil {
 		return nil, err
 	}
@@ -402,8 +436,7 @@ func (m *Manager) EnterBlock(from, to cfg.BlockID) (*Transition, error) {
 		tgt.state = stateLive
 	}
 	tgt.everUsed = true
-	tgt.counter = 0
-	tgt.lastUse = m.clock
+	m.pol.OnAccess(target, m.clock)
 	m.current = target
 	m.started = true
 	m.record(EvEnter, to, target)
@@ -411,53 +444,43 @@ func (m *Manager) EnterBlock(from, to cfg.BlockID) (*Transition, error) {
 	// --- k-edge compression phase ------------------------------------
 	// "At each branch, the counter of each (uncompressed) basic block is
 	// increased by 1 and the basic blocks whose counter reaches k are
-	// deleted." The entered unit was just reset and is skipped. Unless
-	// StrictCounters is set, units that have not executed since their
-	// (pre-)decompression are exempt: Section 3 defines the algorithm
-	// over blocks "visited by the execution thread".
-	for _, u := range m.units {
-		if u.id == target || (u.state != stateLive && u.state != stateIssued) {
-			continue
+	// deleted." The counters live in the policy now: Tick advances them
+	// across this edge (the entered unit was just reset and is exempt)
+	// and returns the expired units, lowest ID first — the same order
+	// the seed Manager's unit-slice walk deleted them in.
+	for _, id := range m.pol.Tick(target, m.clock) {
+		u := m.units[id]
+		if id == target || (u.state != stateLive && u.state != stateIssued) {
+			continue // defensive: a policy may only expire resident units
 		}
-		if !u.everUsed && !m.conf.StrictCounters {
-			continue
-		}
-		u.counter++
-		if u.counter >= m.conf.CompressK {
-			job := m.deleteUnit(u, tr)
-			tr.Deletes = append(tr.Deletes, job)
-		}
+		job := m.deleteUnit(u, tr)
+		tr.Deletes = append(tr.Deletes, job)
 	}
 
 	// --- Pre-decompression phase -------------------------------------
 	// The lookahead is anchored at the exit of the block being left
 	// (Section 4: "from the end of B1 to the beginning of B7, there are
 	// at most 3 edges"); on the initial entry it is anchored at the
-	// entry block itself.
+	// entry block itself. The policy proposes candidates (per the
+	// configured strategy, or its own scheme); the Manager issues them
+	// and then lets the policy observe the edge actually taken, in that
+	// order — the decompression thread decides at the exit of the
+	// anchor block, before the branch resolves.
 	anchor := from
 	if anchor == cfg.None {
 		anchor = to
 	}
-	switch m.conf.Strategy {
-	case PreAll:
-		for _, bid := range m.prog.Graph.WithinK(anchor, m.conf.DecompressK) {
-			m.maybePrefetch(m.unitOf[bid], tr)
-		}
-	case PreSingle:
-		// Predict first (the decompression thread decides at the exit
-		// of the anchor block), then let the predictor observe the edge
-		// actually taken.
-		best, ok := trace.BestWithinK(m.prog.Graph, m.conf.Predictor, anchor, m.conf.DecompressK,
-			func(b cfg.BlockID) bool { return m.units[m.unitOf[b]].state == stateCompressed })
-		if ok {
-			m.maybePrefetch(m.unitOf[best], tr)
-		}
-		if from != cfg.None {
-			m.conf.Predictor.Observe(from, to)
-		}
+	for _, bid := range m.pol.PrefetchCandidates(anchor, m.isCompressed) {
+		m.maybePrefetch(m.unitOf[bid], tr)
+	}
+	if from != cfg.None {
+		m.pol.ObserveEdge(from, to)
 	}
 	return tr, nil
 }
+
+// PolicyName reports the bound replacement/prefetch policy.
+func (m *Manager) PolicyName() string { return m.pol.Name() }
 
 // siteFor finds the static branch site implementing edge from→to, if
 // any (indirect edges and the initial entry have none). Unit-internal
@@ -513,7 +536,10 @@ func (m *Manager) allocate(u *unit, tr *Transition, demand bool) error {
 		addr, err := m.img.Managed().Alloc(need)
 		if err == nil {
 			u.addr = addr
-			u.issuedAt = m.clock
+			m.pol.OnInsert(u.id, policy.Meta{
+				Bytes: len(u.plain),
+				Cost:  m.ccost.DecompressCycles(len(u.plain)),
+			}, m.clock)
 			m.occTouch()
 			return nil
 		}
@@ -547,26 +573,18 @@ func (m *Manager) forceWriteback(tr *Transition) bool {
 	return false
 }
 
-// evictLRU discards the least-recently-used evictable copy. The unit
-// being brought in and the currently-executing unit are not evictable.
+// evictLRU discards the policy's chosen victim (least-recently-used
+// under the default policy, equal lastUse broken by lowest UnitID so
+// the choice never depends on iteration order). The unit being brought
+// in and the currently-executing unit are not evictable.
 func (m *Manager) evictLRU(incoming UnitID, tr *Transition) bool {
-	var victim *unit
-	for _, u := range m.units {
-		if u.id == incoming || u.id == m.current {
-			continue
-		}
-		if u.state != stateLive && u.state != stateIssued {
-			continue
-		}
-		if victim == nil || u.lastUse < victim.lastUse {
-			victim = u
-		}
-	}
-	if victim == nil {
+	id, ok := m.pol.Victim(func(id UnitID) bool { return id != incoming && id != m.current })
+	if !ok {
 		// No live victim; as a last resort wait for the compression
 		// thread to release a pending writeback.
 		return m.forceWriteback(tr)
 	}
+	victim := m.units[id]
 	// Eviction is synchronous (the handler needs the space now): patch
 	// and free immediately, regardless of writeback mode.
 	if victim.state == stateIssued || !victim.everUsed {
@@ -577,6 +595,7 @@ func (m *Manager) evictLRU(incoming UnitID, tr *Transition) bool {
 		panic(fmt.Sprintf("core: evict free: %v", err)) // allocator invariant breach
 	}
 	victim.state = stateCompressed
+	m.pol.OnRemove(victim.id)
 	m.stats.Evictions++
 	tr.Evicted++
 	m.record(EvEvict, victim.blocks[0], victim.id)
@@ -593,6 +612,7 @@ func (m *Manager) deleteUnit(u *unit, tr *Transition) *Job {
 		m.stats.WastedPrefetches++
 	}
 	sites := m.unpatchUnit(u, tr)
+	m.pol.OnRemove(u.id)
 	m.stats.Deletes++
 	m.record(EvDelete, u.blocks[0], u.id)
 	if m.conf.WritebackCompression {
@@ -639,11 +659,16 @@ func (m *Manager) unpatchUnit(u *unit, tr *Transition) int {
 }
 
 // maybePrefetch issues a background decompression for a unit if it is
-// compressed and memory permits. Prefetch allocation failures are
-// silent: the strategy simply loses its head start.
+// compressed, the policy admits the placement, and memory permits.
+// Prefetch allocation failures are silent: the strategy simply loses
+// its head start. Demand decompression never consults Admit — the
+// handler must place the copy execution is waiting on.
 func (m *Manager) maybePrefetch(id UnitID, tr *Transition) {
 	u := m.units[id]
 	if u.state != stateCompressed || id == m.current {
+		return
+	}
+	if !m.pol.Admit(id, policy.Meta{Bytes: len(u.plain), Cost: m.ccost.DecompressCycles(len(u.plain))}) {
 		return
 	}
 	if err := m.allocate(u, tr, false); err != nil {
@@ -651,7 +676,6 @@ func (m *Manager) maybePrefetch(id UnitID, tr *Transition) {
 	}
 	u.state = stateIssued
 	u.everUsed = false
-	u.counter = 0
 	m.stats.Prefetches++
 	m.record(EvPreDecompress, u.blocks[0], id)
 	tr.Prefetches = append(tr.Prefetches, &Job{Kind: JobDecompress, Unit: id, Bytes: len(u.plain)})
@@ -665,21 +689,11 @@ func (m *Manager) maybePrefetch(id UnitID, tr *Transition) {
 // evictable.
 func (m *Manager) ForceEvict() (freed, patches int, ok bool) {
 	tr := &Transition{}
-	var victim *unit
-	for _, u := range m.units {
-		if u.id == m.current {
-			continue
-		}
-		if u.state != stateLive && u.state != stateIssued {
-			continue
-		}
-		if victim == nil || u.lastUse < victim.lastUse {
-			victim = u
-		}
-	}
-	if victim == nil {
+	id, ok := m.pol.Victim(func(id UnitID) bool { return id != m.current })
+	if !ok {
 		return 0, 0, false
 	}
+	victim := m.units[id]
 	if victim.state == stateIssued || !victim.everUsed {
 		m.stats.WastedPrefetches++
 	}
@@ -688,6 +702,7 @@ func (m *Manager) ForceEvict() (freed, patches int, ok bool) {
 		panic(fmt.Sprintf("core: force evict free: %v", err))
 	}
 	victim.state = stateCompressed
+	m.pol.OnRemove(victim.id)
 	m.stats.Evictions++
 	m.record(EvEvict, victim.blocks[0], victim.id)
 	m.occTouch()
@@ -698,21 +713,7 @@ func (m *Manager) ForceEvict() (freed, patches int, ok bool) {
 // least-recently-used live unit, the cross-application LRU key; ok is
 // false when no unit is live and evictable.
 func (m *Manager) OldestLiveUse() (clock int64, ok bool) {
-	found := false
-	best := int64(0)
-	for _, u := range m.units {
-		if u.id == m.current {
-			continue
-		}
-		if u.state != stateLive && u.state != stateIssued {
-			continue
-		}
-		if !found || u.lastUse < best {
-			best = u.lastUse
-			found = true
-		}
-	}
-	return best, found
+	return m.pol.OldestUse(func(id UnitID) bool { return id != m.current })
 }
 
 // FinishDecompress marks an issued unit's copy usable. The simulator
@@ -799,9 +800,6 @@ func (m *Manager) CheckInvariants() error {
 				return fmt.Errorf("core: unit %d has bad pending-writeback allocation", u.id)
 			}
 			live += len(u.plain)
-		}
-		if u.counter >= m.conf.CompressK && (u.state == stateLive || u.state == stateIssued) && u.id != m.current {
-			return fmt.Errorf("core: unit %d counter %d >= k %d but still live", u.id, u.counter, m.conf.CompressK)
 		}
 	}
 	if live != m.img.Managed().InUse() {

@@ -1,0 +1,93 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// arenaModel drives an Arena through a random alloc/free interleaving,
+// verifying the allocator invariants (Check: ordered, non-overlapping,
+// fully-coalesced free spans; exact byte accounting) after every
+// operation. It is shared by the seeded property test and the fuzz
+// harness.
+func arenaModel(t *testing.T, policy FitPolicy, size int, ops []byte) {
+	t.Helper()
+	a := NewArena(0x100, size)
+	a.SetPolicy(policy)
+	var live []Addr
+	for i := 0; i < len(ops); i++ {
+		op := ops[i]
+		switch {
+		case op%3 != 0 || len(live) == 0: // alloc-biased mix
+			n := int(op)%(size/4+1) + 1
+			addr, err := a.Alloc(n)
+			if err != nil {
+				// Legal under pressure; the arena must stay coherent.
+				break
+			}
+			// The returned span must not overlap any live allocation.
+			for _, l := range live {
+				ls, _ := a.SizeOf(l)
+				if addr < l+Addr(ls) && l < addr+Addr(n) {
+					t.Fatalf("op %d: alloc [%#x,+%d) overlaps live [%#x,+%d)", i, addr, n, l, ls)
+				}
+			}
+			live = append(live, addr)
+		default: // free a pseudo-random live allocation
+			idx := int(op/3) % len(live)
+			addr := live[idx]
+			live[idx] = live[len(live)-1]
+			live = live[:len(live)-1]
+			if err := a.Free(addr); err != nil {
+				t.Fatalf("op %d: free(%#x): %v", i, addr, err)
+			}
+		}
+		if err := a.Check(); err != nil {
+			t.Fatalf("op %d (policy %v): %v", i, policy, err)
+		}
+	}
+	// Draining every allocation must coalesce back to one full span.
+	for _, addr := range live {
+		if err := a.Free(addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if a.InUse() != 0 || a.LargestFree() != size {
+		t.Fatalf("after drain: inUse=%d largestFree=%d want 0,%d", a.InUse(), a.LargestFree(), size)
+	}
+	if a.ExternalFragmentation() != 0 {
+		t.Fatalf("after drain: fragmentation %v, free space not fully coalesced", a.ExternalFragmentation())
+	}
+}
+
+// TestArenaRandomInterleavings is the seeded property test: many
+// random alloc/free interleavings under both fit policies must
+// preserve every span invariant and coalesce completely on drain.
+func TestArenaRandomInterleavings(t *testing.T) {
+	for _, policy := range []FitPolicy{FirstFit, BestFit} {
+		for seed := int64(1); seed <= 25; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			ops := make([]byte, 400)
+			rng.Read(ops)
+			arenaModel(t, policy, 512+int(seed%7)*97, ops)
+		}
+	}
+}
+
+// FuzzArena lets the fuzzer search for interleavings that break the
+// allocator: the byte stream is the operation schedule for both
+// policies.
+func FuzzArena(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 9, 0, 255, 6, 12})
+	f.Add([]byte{0, 0, 0, 3, 3, 3, 200, 100, 50, 25})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 512 {
+			ops = ops[:512]
+		}
+		arenaModel(t, FirstFit, 256, ops)
+		arenaModel(t, BestFit, 256, ops)
+	})
+}

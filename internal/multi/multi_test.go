@@ -6,6 +6,7 @@ import (
 
 	"apbcc/internal/compress"
 	"apbcc/internal/core"
+	"apbcc/internal/policy"
 	"apbcc/internal/sim"
 	"apbcc/internal/workloads"
 )
@@ -189,5 +190,72 @@ func TestDynamicBeatsStaticSplit(t *testing.T) {
 		pool, 100*dynOv, 100*statOv)
 	if dynOv >= statOv {
 		t.Errorf("dynamic sharing (%.3f) not better than static split (%.3f)", dynOv, statOv)
+	}
+}
+
+// makeAppWithPolicy builds an application whose Manager runs a named
+// replacement policy — each app its own fresh instance.
+func makeAppWithPolicy(t *testing.T, name, polName string, kc int) *App {
+	t.Helper()
+	w, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := w.Program.CodeBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec, err := compress.New("dict", code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := policy.New[core.UnitID](polName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.NewManager(w.Program, core.Config{Codec: codec, CompressK: kc, Policy: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := w.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Blocks = tr.Blocks[:4000]
+	return &App{Name: name, Manager: m, Trace: tr}
+}
+
+// TestSharedPoolWithPolicies runs the cross-application coordinator
+// over apps bound to each registered policy: the global pool must be
+// enforced and both apps complete. The coordinator's cross-app LRU
+// comparison goes through Policy.OldestUse, which every policy
+// provides regardless of its victim rule.
+func TestSharedPoolWithPolicies(t *testing.T) {
+	names := []string{"jpegdct", "adpcm"}
+	floor, peak := combinedFloorAndPeak(t, names, 4)
+	pool := floor + (peak-floor)/2
+	for _, polName := range policy.Names() {
+		t.Run(polName, func(t *testing.T) {
+			apps := []*App{
+				makeAppWithPolicy(t, names[0], polName, 4),
+				makeAppWithPolicy(t, names[1], polName, 4),
+			}
+			sys, err := NewSystem(pool, sim.DefaultCosts(), apps...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sys.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.PeakCombined > pool {
+				t.Errorf("combined peak %d exceeds pool %d", res.PeakCombined, pool)
+			}
+			for _, ar := range res.Apps {
+				if ar.Core.Entries != 4000 {
+					t.Errorf("%s: entries = %d want 4000", ar.Name, ar.Core.Entries)
+				}
+			}
+		})
 	}
 }

@@ -1,0 +1,75 @@
+package policy
+
+import (
+	"cmp"
+
+	"apbcc/internal/cfg"
+)
+
+// LFU keeps the most frequently used entries resident: the victim is
+// the entry with the fewest lifetime accesses, ties broken by least
+// recent use and then by lowest key. Expiry and prefetch follow the
+// bound environment exactly like PaperKLRU — the k-edge algorithm and
+// the Figure 3 strategy are the paper's contribution and stay fixed
+// across replacement policies so the E4 comparison isolates victim
+// selection.
+//
+// In closed key universes (ExpireK > 0) frequency survives removal, so
+// a hot loop that was deleted during a cold phase re-enters with its
+// history; in open universes frequency restarts with each admission
+// (classic cache LFU).
+type LFU[K cmp.Ordered] struct {
+	t table[K]
+}
+
+// NewLFU builds a least-frequently-used policy; Bind before use.
+func NewLFU[K cmp.Ordered]() *LFU[K] { return &LFU[K]{} }
+
+// Name implements Policy.
+func (p *LFU[K]) Name() string { return "lfu" }
+
+// Bind implements Policy.
+func (p *LFU[K]) Bind(env Env) { p.t.init(env) }
+
+// Admit implements Policy: always cache.
+func (p *LFU[K]) Admit(key K, m Meta) bool { return true }
+
+// OnInsert implements Policy.
+func (p *LFU[K]) OnInsert(key K, m Meta, now int64) { p.t.insert(key, m, now) }
+
+// OnAccess implements Policy.
+func (p *LFU[K]) OnAccess(key K, now int64) { p.t.access(key, now) }
+
+// OnRemove implements Policy.
+func (p *LFU[K]) OnRemove(key K) { p.t.remove(key) }
+
+// Tick implements Policy.
+func (p *LFU[K]) Tick(fresh K, now int64) []K { return p.t.tick(fresh, now) }
+
+// Victim implements Policy: lowest frequency, then least recent use,
+// then lowest key.
+func (p *LFU[K]) Victim(evictable func(K) bool) (K, bool) {
+	var victim K
+	var vrec *record
+	p.t.scan(evictable, func(key K, r *record) {
+		if vrec == nil || r.freq < vrec.freq ||
+			(r.freq == vrec.freq && r.lastUse < vrec.lastUse) {
+			victim, vrec = key, r
+		}
+	})
+	return victim, vrec != nil
+}
+
+// OldestUse implements Policy.
+func (p *LFU[K]) OldestUse(evictable func(K) bool) (int64, bool) {
+	return p.t.oldestUse(evictable)
+}
+
+// PrefetchCandidates implements Policy (same strategy dispatch as
+// PaperKLRU).
+func (p *LFU[K]) PrefetchCandidates(anchor cfg.BlockID, compressed func(cfg.BlockID) bool) []cfg.BlockID {
+	return strategyCandidates(&p.t.env, anchor, compressed)
+}
+
+// ObserveEdge implements Policy.
+func (p *LFU[K]) ObserveEdge(from, to cfg.BlockID) { strategyObserve(&p.t.env, from, to) }

@@ -5,6 +5,7 @@ import (
 
 	"apbcc/internal/compress"
 	"apbcc/internal/core"
+	"apbcc/internal/policy"
 	"apbcc/internal/sim"
 	"apbcc/internal/trace"
 	"apbcc/internal/workloads"
@@ -68,6 +69,89 @@ func TestPolicyStatsMatchSimulator(t *testing.T) {
 				rtStats.PrefetchHits = 0
 				if simStats != rtStats {
 					t.Errorf("policy stats diverge:\n sim: %+v\n rt:  %+v", simStats, rtStats)
+				}
+			})
+		}
+	}
+}
+
+// TestPolicyDifferentialSimVsRT runs every registered replacement/
+// prefetch policy through both execution paths — the deterministic
+// cycle simulator and the concurrent goroutine runtime — under a
+// memory budget, and requires identical policy-level counters. Victim
+// selection is deterministic by contract (ties break to the lowest
+// unit ID), so any divergence is a policy or runtime bug.
+func TestPolicyDifferentialSimVsRT(t *testing.T) {
+	for _, wname := range []string{"jpegdct", "mpeg2motion"} {
+		for _, pname := range policy.Names() {
+			t.Run(wname+"/"+pname, func(t *testing.T) {
+				w, err := workloads.ByName(wname)
+				if err != nil {
+					t.Fatal(err)
+				}
+				code, err := w.Program.CodeBytes()
+				if err != nil {
+					t.Fatal(err)
+				}
+				codec, err := compress.New("dict", code)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mkConf := func() core.Config {
+					p, err := policy.New[core.UnitID](pname)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return core.Config{
+						Codec: codec, CompressK: 4, Strategy: core.PreAll,
+						DecompressK: 2, Policy: p,
+					}
+				}
+				tr, err := trace.Generate(w.Program.Graph,
+					trace.GenConfig{Seed: w.Seed, MaxSteps: 3000, Restart: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				// Probe for a budget that forces evictions. Policies
+				// are stateful: every Manager gets a fresh instance.
+				probe, err := core.NewManager(w.Program, mkConf())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := sim.Run(probe, tr, sim.DefaultCosts()); err != nil {
+					t.Fatal(err)
+				}
+				peak := probe.Occupancy().Peak()
+				budget := probe.CompressedSize() + (peak-probe.CompressedSize())*3/4
+
+				run := func(drive func(m *core.Manager) error) core.Stats {
+					conf := mkConf()
+					conf.BudgetBytes = budget
+					m, err := core.NewManager(w.Program, conf)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := drive(m); err != nil {
+						t.Fatal(err)
+					}
+					return m.Stats()
+				}
+				simStats := run(func(m *core.Manager) error {
+					_, err := sim.Run(m, tr, sim.DefaultCosts())
+					return err
+				})
+				rtStats := run(func(m *core.Manager) error {
+					_, err := New(m, codec).Execute(tr)
+					return err
+				})
+				simStats.PrefetchHits = 0
+				rtStats.PrefetchHits = 0
+				if simStats != rtStats {
+					t.Errorf("%s: policy stats diverge:\n sim: %+v\n rt:  %+v", pname, simStats, rtStats)
+				}
+				if simStats.Entries != 3000 {
+					t.Errorf("entries = %d want 3000", simStats.Entries)
 				}
 			})
 		}

@@ -1,12 +1,13 @@
 package service
 
 import (
-	"container/list"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
 	"fmt"
 	"sync"
+
+	"apbcc/internal/policy"
 )
 
 // BlockAddress computes the content address of a compressed-block cache
@@ -65,18 +66,35 @@ func (s CacheStats) HitRate() float64 {
 	return float64(s.Hits+s.Coalesced) / float64(total)
 }
 
-// BlockCache is a sharded, content-addressed LRU cache for compressed
+// BlockCache is a sharded, content-addressed cache for compressed
 // block payloads. Each shard has an independent lock, so concurrent
 // requests for different blocks contend only when they hash to the
-// same shard. Cached values are shared slices: callers must not mutate
-// them.
+// same shard; each shard also runs its own instance of a pluggable
+// replacement policy (internal/policy) — the same engine the embedded
+// runtime evicts under, so the server can compare plain LRU against
+// cost-aware or frequency-based eviction. Cached values are shared
+// slices: callers must not mutate them.
 type BlockCache struct {
-	shards []*cacheShard
+	shards  []*cacheShard
+	polName string
 }
 
 // NewBlockCache creates a cache with the given shard count (rounded up
-// to at least 1) and per-shard byte capacity.
+// to at least 1) and per-shard byte capacity, evicting LRU (the klru
+// policy with expiry disabled).
 func NewBlockCache(shards, bytesPerShard int) *BlockCache {
+	c, err := NewBlockCachePolicy(shards, bytesPerShard, "klru")
+	if err != nil {
+		panic(err) // unreachable: klru is registered
+	}
+	return c
+}
+
+// NewBlockCachePolicy creates a cache whose shards evict under the
+// named replacement policy (see policy.Names); the empty name selects
+// LRU. Each shard gets its own policy instance fed by a per-shard
+// operation clock.
+func NewBlockCachePolicy(shards, bytesPerShard int, polName string) (*BlockCache, error) {
 	if shards < 1 {
 		shards = 1
 	}
@@ -85,22 +103,46 @@ func NewBlockCache(shards, bytesPerShard int) *BlockCache {
 	}
 	c := &BlockCache{shards: make([]*cacheShard, shards)}
 	for i := range c.shards {
+		pol, err := policy.New[string](polName)
+		if err != nil {
+			return nil, err
+		}
+		// ExpireK 0: no k-edge expiry on an open key universe; the
+		// policy is pure replacement here.
+		pol.Bind(policy.Env{})
 		c.shards[i] = &cacheShard{
 			capacity: bytesPerShard,
-			items:    make(map[string]*list.Element),
+			pol:      pol,
+			items:    make(map[string][]byte),
 			inflight: make(map[string]*flight),
-			lru:      list.New(),
 		}
+		c.polName = pol.Name()
 	}
-	return c
+	return c, nil
 }
+
+// Policy names the shards' replacement policy.
+func (c *BlockCache) Policy() string { return c.polName }
 
 // GetOrCompute returns the value for key, running compute on a miss.
 // Concurrent callers missing on the same key wait for a single compute
 // (singleflight); its result is handed to all of them. hit reports
 // whether this caller avoided running compute itself. Errors are not
-// cached: the next request retries.
+// cached: the next request retries. The value's own byte length stands
+// in as its re-production cost; cost-sensitive callers use
+// GetOrComputeCost.
 func (c *BlockCache) GetOrCompute(key string, compute func() ([]byte, error)) (val []byte, hit bool, err error) {
+	return c.shard(key).getOrCompute(key, func() ([]byte, int64, error) {
+		v, err := compute()
+		return v, int64(len(v)), err
+	})
+}
+
+// GetOrComputeCost is GetOrCompute for computes that know what a miss
+// costs (e.g. the modeled compression cycles of the block): cost-aware
+// replacement policies keep expensive-to-rebuild payloads resident
+// longer.
+func (c *BlockCache) GetOrComputeCost(key string, compute func() ([]byte, int64, error)) (val []byte, hit bool, err error) {
 	return c.shard(key).getOrCompute(key, compute)
 }
 
@@ -146,38 +188,43 @@ type flight struct {
 	err  error
 }
 
+// cacheShard stores values and byte accounting; the bound policy owns
+// recency/frequency/cost bookkeeping and picks victims. All policy
+// calls happen under mu (policies are not concurrency-safe), fed by
+// the shard's operation clock.
 type cacheShard struct {
 	mu       sync.Mutex
 	capacity int
 	bytes    int
-	lru      *list.List // front = most recently used
-	items    map[string]*list.Element
+	clock    int64
+	pol      policy.Policy[string]
+	items    map[string][]byte
 	inflight map[string]*flight
 
 	hits, misses, coalesced, evictions int64
 }
 
-type cacheEntry struct {
-	key string
-	val []byte
+// tick advances the shard's logical clock; caller holds the lock.
+func (s *cacheShard) tick() int64 {
+	s.clock++
+	return s.clock
 }
 
 func (s *cacheShard) get(key string) ([]byte, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if el, ok := s.items[key]; ok {
-		s.lru.MoveToFront(el)
-		return el.Value.(*cacheEntry).val, true
+	if val, ok := s.items[key]; ok {
+		s.pol.OnAccess(key, s.tick())
+		return val, true
 	}
 	return nil, false
 }
 
-func (s *cacheShard) getOrCompute(key string, compute func() ([]byte, error)) ([]byte, bool, error) {
+func (s *cacheShard) getOrCompute(key string, compute func() ([]byte, int64, error)) ([]byte, bool, error) {
 	s.mu.Lock()
-	if el, ok := s.items[key]; ok {
-		s.lru.MoveToFront(el)
+	if val, ok := s.items[key]; ok {
+		s.pol.OnAccess(key, s.tick())
 		s.hits++
-		val := el.Value.(*cacheEntry).val
 		s.mu.Unlock()
 		return val, true, nil
 	}
@@ -192,12 +239,13 @@ func (s *cacheShard) getOrCompute(key string, compute func() ([]byte, error)) ([
 	s.misses++
 	s.mu.Unlock()
 
-	fl.val, fl.err = safeCompute(compute)
+	var cost int64
+	fl.val, cost, fl.err = safeCompute(compute)
 
 	s.mu.Lock()
 	delete(s.inflight, key)
 	if fl.err == nil {
-		s.insert(key, fl.val)
+		s.insert(key, fl.val, cost)
 	}
 	s.mu.Unlock()
 	close(fl.done)
@@ -208,7 +256,7 @@ func (s *cacheShard) getOrCompute(key string, compute func() ([]byte, error)) ([
 // this, a panic would unwind past getOrCompute with the in-flight
 // entry still registered and its done channel never closed, wedging
 // the key (and every coalesced waiter) forever.
-func safeCompute(compute func() ([]byte, error)) (val []byte, err error) {
+func safeCompute(compute func() ([]byte, int64, error)) (val []byte, cost int64, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("service: cache compute panic: %v", r)
@@ -217,29 +265,45 @@ func safeCompute(compute func() ([]byte, error)) (val []byte, err error) {
 	return compute()
 }
 
-// insert adds an entry and evicts from the cold end until the shard
+// insert adds an entry and asks the policy for victims until the shard
 // fits its capacity. Values larger than the whole shard are not cached
-// at all: admitting them would just flush everything else. Caller holds
-// the lock.
-func (s *cacheShard) insert(key string, val []byte) {
+// at all (admitting them would just flush everything else), and the
+// policy may veto admission outright. Caller holds the lock.
+func (s *cacheShard) insert(key string, val []byte, cost int64) {
 	if len(val) > s.capacity {
 		return
 	}
-	if el, ok := s.items[key]; ok { // lost a race with another insert
-		s.lru.MoveToFront(el)
+	if _, ok := s.items[key]; ok { // lost a race with another insert
+		s.pol.OnAccess(key, s.tick())
 		return
 	}
-	s.items[key] = s.lru.PushFront(&cacheEntry{key: key, val: val})
+	meta := policy.Meta{Bytes: len(val), Cost: cost}
+	if !s.pol.Admit(key, meta) {
+		return
+	}
+	now := s.tick()
+	s.items[key] = val
 	s.bytes += len(val)
+	s.pol.OnInsert(key, meta, now)
+	// The brand-new entry is not evictable on its own insert: evicting
+	// what we just paid to compute would thrash under any policy.
 	for s.bytes > s.capacity {
-		back := s.lru.Back()
-		if back == nil {
+		victim, ok := s.pol.Victim(func(k string) bool { return k != key })
+		if !ok {
 			break
 		}
-		ent := back.Value.(*cacheEntry)
-		s.lru.Remove(back)
-		delete(s.items, ent.key)
-		s.bytes -= len(ent.val)
+		s.removeLocked(victim)
 		s.evictions++
 	}
+}
+
+// removeLocked drops one entry; caller holds the lock.
+func (s *cacheShard) removeLocked(key string) {
+	val, ok := s.items[key]
+	if !ok {
+		return
+	}
+	delete(s.items, key)
+	s.bytes -= len(val)
+	s.pol.OnRemove(key)
 }

@@ -201,3 +201,75 @@ func TestCacheConcurrentMixed(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestCacheCostAwarePolicy checks the policy seam end to end: under
+// the cost-aware policy a cheap-to-recompute payload is evicted before
+// an equally-sized expensive one, regardless of recency.
+func TestCacheCostAwarePolicy(t *testing.T) {
+	c, err := NewBlockCachePolicy(1, 8, "cost-aware")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Policy() != "cost-aware" {
+		t.Fatalf("policy = %q", c.Policy())
+	}
+	add := func(key string, cost int64) {
+		t.Helper()
+		if _, _, err := c.GetOrComputeCost(key, func() ([]byte, int64, error) {
+			return []byte("1234"), cost, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("cheap", 10)
+	add("gold", 10000)
+	// Touch cheap last: plain LRU would now evict gold.
+	if _, ok := c.Get("cheap"); !ok {
+		t.Fatal("cheap missing before overflow")
+	}
+	add("new", 500) // 12 bytes > 8: eviction required
+	if _, ok := c.Get("gold"); !ok {
+		t.Error("expensive entry was evicted despite cost-aware policy")
+	}
+	if _, ok := c.Get("cheap"); ok {
+		t.Error("cheap entry survived; expected it to be the victim")
+	}
+	if got := c.Stats().Evictions; got == 0 {
+		t.Error("no evictions recorded")
+	}
+}
+
+// TestCacheUnknownPolicyRejected pins the constructor's validation.
+func TestCacheUnknownPolicyRejected(t *testing.T) {
+	if _, err := NewBlockCachePolicy(1, 8, "belady"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+// TestCacheEvictionIsInsertionLRU is the regression test for the
+// policy-backed shard matching the list-LRU it replaced: entries that
+// were inserted but never re-accessed must be evicted oldest-insertion
+// first, not in key order.
+func TestCacheEvictionIsInsertionLRU(t *testing.T) {
+	c := NewBlockCache(1, 8) // two 4-byte values fit
+	add := func(key string) {
+		t.Helper()
+		if _, _, err := c.GetOrCompute(key, func() ([]byte, error) {
+			return []byte("1234"), nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// "x" sorts after "a": key-ordered eviction would evict "a".
+	add("x")
+	add("a")
+	add("c") // overflow: the oldest insertion ("x") must go
+	if _, ok := c.Get("x"); ok {
+		t.Error("oldest-inserted entry survived eviction")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("recently inserted %q was evicted", k)
+		}
+	}
+}

@@ -9,11 +9,13 @@
 //
 // The subsystem is built from four pieces:
 //
-//   - a sharded, content-addressed LRU block cache (cache.go). Keys are
+//   - a sharded, content-addressed block cache (cache.go). Keys are
 //     SHA-256 over codec name, serialized codec model and the plain
 //     block image, so identical blocks compressed under identical
 //     models are served from cache regardless of which workload or
-//     request produced them. Each shard carries its own lock, LRU list
+//     request produced them. Each shard carries its own lock, its own
+//     instance of a pluggable replacement policy (internal/policy;
+//     LRU by default, cost-aware and LFU selectable via Config.Policy)
 //     and an in-flight table providing singleflight-style duplicate
 //     suppression: concurrent misses on one key run the compressor
 //     once.

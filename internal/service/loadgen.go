@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -21,7 +22,9 @@ import (
 type LoadConfig struct {
 	// BaseURL is the server to hit, e.g. "http://127.0.0.1:8080".
 	BaseURL string
-	// Workload names the suite workload whose trace is replayed.
+	// Workload is the scenario list: one suite workload name, or a
+	// comma-separated list assigned to clients round-robin so one run
+	// mixes access-pattern classes (e.g. "fft,zipf,loopphase").
 	Workload string
 	// Codec selects the block codec (default dict).
 	Codec string
@@ -80,6 +83,18 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadStats, error) {
 		}}
 	}
 
+	scenarios := strings.Split(cfg.Workload, ",")
+	kept := scenarios[:0]
+	for _, s := range scenarios {
+		if s = strings.TrimSpace(s); s != "" {
+			kept = append(kept, s)
+		}
+	}
+	scenarios = kept
+	if len(scenarios) == 0 {
+		return nil, fmt.Errorf("service: empty workload list")
+	}
+
 	stats := &LoadStats{Clients: cfg.Clients, Latency: &Histogram{}}
 	var mu sync.Mutex
 	var wg sync.WaitGroup
@@ -88,7 +103,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadStats, error) {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			cs, err := runClient(ctx, client, cfg, cfg.Seed+int64(id), stats.Latency)
+			cs, err := runClient(ctx, client, cfg, scenarios[id%len(scenarios)], cfg.Seed+int64(id), stats.Latency)
 			mu.Lock()
 			defer mu.Unlock()
 			stats.Requests += cs.requests
@@ -115,16 +130,17 @@ type clientStats struct {
 	firstError                    error
 }
 
-// runClient is one simulated device: fetch container, verify, replay.
-func runClient(ctx context.Context, client *http.Client, cfg LoadConfig, seed int64, lat *Histogram) (clientStats, error) {
+// runClient is one simulated device: fetch container, verify, replay
+// its assigned scenario.
+func runClient(ctx context.Context, client *http.Client, cfg LoadConfig, workload string, seed int64, lat *Histogram) (clientStats, error) {
 	var cs clientStats
-	url := fmt.Sprintf("%s/v1/pack/%s?codec=%s", cfg.BaseURL, cfg.Workload, cfg.Codec)
+	url := fmt.Sprintf("%s/v1/pack/%s?codec=%s", cfg.BaseURL, workload, cfg.Codec)
 	body, _, err := fetch(ctx, client, url)
 	if err != nil {
 		return cs, fmt.Errorf("container fetch: %w", err)
 	}
 	// Unpack runs the whole-image checksum verification client-side.
-	prog, codec, _, err := pack.Unpack(cfg.Workload, body)
+	prog, codec, _, err := pack.Unpack(workload, body)
 	if err != nil {
 		return cs, fmt.Errorf("container verify: %w", err)
 	}
@@ -152,7 +168,7 @@ func runClient(ctx context.Context, client *http.Client, cfg LoadConfig, seed in
 		if ctx.Err() != nil {
 			return cs, ctx.Err()
 		}
-		url := fmt.Sprintf("%s/v1/block/%s/%d?codec=%s", cfg.BaseURL, cfg.Workload, blockID, cfg.Codec)
+		url := fmt.Sprintf("%s/v1/block/%s/%d?codec=%s", cfg.BaseURL, workload, blockID, cfg.Codec)
 		t0 := time.Now()
 		payload, hdr, err := fetch(ctx, client, url)
 		lat.Observe(time.Since(t0))

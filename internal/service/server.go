@@ -47,6 +47,11 @@ type Config struct {
 	QueueDepth int
 	// MaxBatch is the pool's per-wakeup batch limit (default 8).
 	MaxBatch int
+	// Policy names the block-cache replacement policy (policy.Names);
+	// empty selects "klru", which with expiry disabled is plain LRU.
+	// "cost-aware" keeps blocks that are expensive to recompress
+	// resident longer (GreedyDual-Size over the codec cost model).
+	Policy string
 }
 
 func (c Config) withDefaults() Config {
@@ -99,10 +104,16 @@ type entry struct {
 }
 
 // New builds a Server. Call Close when done to stop the worker pool.
+// An unknown Config.Policy falls back to the LRU default (use
+// policy.Names to validate user input first).
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	cache, err := NewBlockCachePolicy(cfg.CacheShards, cfg.CacheBytes/cfg.CacheShards, cfg.Policy)
+	if err != nil {
+		cache = NewBlockCache(cfg.CacheShards, cfg.CacheBytes/cfg.CacheShards)
+	}
 	s := &Server{
-		cache:   NewBlockCache(cfg.CacheShards, cfg.CacheBytes/cfg.CacheShards),
+		cache:   cache,
 		pool:    NewPool(cfg.Workers, cfg.QueueDepth, cfg.MaxBatch),
 		metrics: NewMetrics(),
 		entries: make(map[string]*entry),
@@ -271,7 +282,10 @@ func (s *Server) handleBlock(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	plain := ent.plain[id]
-	payload, hit, err := s.cache.GetOrCompute(ent.keys[id], func() ([]byte, error) {
+	// The modeled compression cost is what a miss on this key costs
+	// the server; cost-aware replacement weighs it against the bytes.
+	missCost := ent.codec.Cost().CompressCycles(len(plain))
+	payload, hit, err := s.cache.GetOrComputeCost(ent.keys[id], func() ([]byte, int64, error) {
 		// Detach from the request context: coalesced waiters depend on
 		// this compute, so the leader disconnecting must not fail it.
 		ctx := context.WithoutCancel(r.Context())
@@ -290,7 +304,7 @@ func (s *Server) handleBlock(w http.ResponseWriter, r *http.Request) {
 			compress.PutBuf(out)
 			return nil
 		})
-		return comp, err
+		return comp, missCost, err
 	})
 	if err != nil {
 		http.Error(w, err.Error(), statusFor(err))

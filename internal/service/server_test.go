@@ -366,3 +366,35 @@ func TestHistogramQuantiles(t *testing.T) {
 		t.Errorf("small-n p99 = %v, want %v", got, histBounds[len(histBounds)-1])
 	}
 }
+
+// TestLoadgenScenarioList replays a comma-separated scenario list: the
+// clients split round-robin across the named workloads (including the
+// skewed/phase scenarios added for policy comparison) with no errors.
+func TestLoadgenScenarioList(t *testing.T) {
+	_, ts := newTestServer(t)
+	stats, err := RunLoad(context.Background(), LoadConfig{
+		BaseURL:  ts.URL,
+		Workload: "crc32, zipf,loopphase",
+		Codec:    "dict",
+		Clients:  6,
+		Steps:    40,
+		Seed:     3,
+		Client:   ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Errors != 0 {
+		t.Fatalf("loadgen errors = %d, first: %v", stats.Errors, stats.FirstError)
+	}
+	if want := int64(6 * 40); stats.Requests != want {
+		t.Fatalf("requests = %d, want %d", stats.Requests, want)
+	}
+
+	// An empty list is rejected, not silently idle.
+	if _, err := RunLoad(context.Background(), LoadConfig{
+		BaseURL: ts.URL, Workload: " , ", Clients: 1, Steps: 1, Client: ts.Client(),
+	}); err == nil {
+		t.Fatal("empty scenario list accepted")
+	}
+}

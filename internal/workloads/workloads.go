@@ -1,7 +1,7 @@
 // Package workloads provides the synthetic embedded benchmark suite the
 // reproduction evaluates on. DATE'05-era code compression papers used
 // MediaBench/MiBench-style kernels; the paper itself does not name its
-// benchmarks, so this suite synthesizes nine ERI32 programs whose CFG
+// benchmarks, so this suite synthesizes eleven ERI32 programs whose CFG
 // shapes, block sizes and branch probabilities reproduce the
 // *access-pattern classes* that drive the technique's behaviour:
 //
@@ -15,7 +15,13 @@
 //   - dispatch-style code with many cold arms (mpeg2motion), the case
 //     for keeping rarely-used blocks compressed;
 //   - large straight-line unrolled bodies (sha), where the per-visit
-//     footprint is big and lookahead hides decompression latency.
+//     footprint is big and lookahead hides decompression latency;
+//   - Zipf-skewed dispatch (zipf), where a heavy-tailed popularity law
+//     over many handler arms separates replacement policies: keeping
+//     the hot head resident is easy, ranking the warm middle is not;
+//   - recurring phase rotation (loopphase), where four loop nests take
+//     turns being hot — the phase-change trace that punishes pure
+//     frequency policies and rewards recency and prefetch.
 //
 // Every workload is deterministic: CFG, instruction bytes and the
 // recommended trace are all seeded.
@@ -24,6 +30,7 @@ package workloads
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"apbcc/internal/cfg"
@@ -73,9 +80,14 @@ var builders = []builder{
 	{"mpeg2motion", "mode dispatch with two hot and four cold arms", 20000, mpeg2Graph},
 	{"sha", "long unrolled round chain inside a loop", 20000, shaGraph},
 	{"susan", "scan loop with a 10% heavy neighborhood path", 20000, susanGraph},
+	// Appended after the original nine: builder index feeds the synth
+	// seed, so insertion order here is part of the suite's determinism
+	// contract — always add new workloads at the end.
+	{"zipf", "dispatch over 8 arms with Zipf(1.2)-skewed popularity", 20000, zipfGraph},
+	{"loopphase", "four loop nests rotating as recurring hot phases", 20000, loopphaseGraph},
 }
 
-// Suite builds all nine workloads, sorted by name.
+// Suite builds every workload in the suite, sorted by name.
 func Suite() ([]*Workload, error) {
 	out := make([]*Workload, 0, len(builders))
 	for i, b := range builders {
@@ -360,6 +372,82 @@ func susanGraph() *cfg.Graph {
 	g.MustAddEdge(latch, scan, cfg.EdgeTaken, 0.992)
 	g.MustAddEdge(latch, exit, cfg.EdgeFallthrough, 0.008)
 	addColdRegion(g, "susan_border_fix", latch, scan, 6, 18, 0.002)
+	return g
+}
+
+// zipfGraph: a dispatch loop over eight handler arms whose selection
+// probabilities follow a Zipf law with exponent 1.2 — the skewed
+// popularity distribution of content-serving workloads. The head arm
+// dominates, the tail arms are individually cold but collectively
+// large, and the warm middle is where replacement policies diverge:
+// LRU churns it, LFU pins it, cost-aware ranks it by rebuild price.
+func zipfGraph() *cfg.Graph {
+	g := cfg.New()
+	init := g.AddBlock("init", 12)
+	disp := g.AddBlock("dispatch", 9)
+	latch := g.AddBlock("latch", 6)
+	exit := g.AddBlock("exit", 5)
+	setFunc(g, "zipf_init", init)
+	setFunc(g, "zipf_dispatch", disp, latch)
+	setFunc(g, "zipf_exit", exit)
+	g.MustAddEdge(init, disp, cfg.EdgeJump, 1)
+	const arms = 8
+	const s = 1.2
+	total := 0.0
+	weights := make([]float64, arms)
+	for i := range weights {
+		weights[i] = 1 / math.Pow(float64(i+1), s)
+		total += weights[i]
+	}
+	for i, w := range weights {
+		// Arm bodies grow down the tail: the rarely-hit arms are the
+		// big ones, so keeping them compressed is what pays.
+		id := g.AddBlock(fmt.Sprintf("arm%d", i), 12+2*i)
+		setFunc(g, fmt.Sprintf("zipf_arm%d", i), id)
+		g.MustAddEdge(disp, id, cfg.EdgeTaken, w/total)
+		g.MustAddEdge(id, latch, cfg.EdgeJump, 1)
+	}
+	g.MustAddEdge(latch, disp, cfg.EdgeTaken, 0.995)
+	g.MustAddEdge(latch, exit, cfg.EdgeFallthrough, 0.005)
+	addColdRegion(g, "zipf_stats_flush", latch, disp, 7, 16, 0.002)
+	return g
+}
+
+// loopphaseGraph: four loop nests executed as rotating phases inside
+// an outer loop — phase changes recur instead of happening once (the
+// jpegdct pattern), so a policy must keep re-learning which nest is
+// hot. Bodies differ in size so eviction choices have asymmetric cost.
+func loopphaseGraph() *cfg.Graph {
+	g := cfg.New()
+	init := g.AddBlock("init", 12)
+	outer := g.AddBlock("outer_head", 7)
+	exit := g.AddBlock("exit", 5)
+	setFunc(g, "lp_init", init)
+	setFunc(g, "lp_outer", outer)
+	setFunc(g, "lp_exit", exit)
+	g.MustAddEdge(init, outer, cfg.EdgeJump, 1)
+	const phases = 4
+	prevLatch := outer
+	prevKind := cfg.EdgeJump
+	prevProb := 1.0
+	for p := 0; p < phases; p++ {
+		head := g.AddBlock(fmt.Sprintf("phase%d_head", p), 8)
+		body := g.AddBlock(fmt.Sprintf("phase%d_body", p), 16+4*p)
+		latch := g.AddBlock(fmt.Sprintf("phase%d_latch", p), 5)
+		setFunc(g, fmt.Sprintf("lp_phase%d", p), head, body, latch)
+		g.MustAddEdge(prevLatch, head, prevKind, prevProb)
+		g.MustAddEdge(head, body, cfg.EdgeFallthrough, 1)
+		g.MustAddEdge(body, latch, cfg.EdgeJump, 1)
+		g.MustAddEdge(latch, head, cfg.EdgeTaken, 0.96)
+		prevLatch, prevKind, prevProb = latch, cfg.EdgeFallthrough, 0.04
+	}
+	// The last phase hands back to the outer loop: phases recur.
+	olatch := g.AddBlock("outer_latch", 6)
+	setFunc(g, "lp_outer", olatch)
+	g.MustAddEdge(prevLatch, olatch, cfg.EdgeFallthrough, 0.04)
+	g.MustAddEdge(olatch, outer, cfg.EdgeTaken, 0.9)
+	g.MustAddEdge(olatch, exit, cfg.EdgeFallthrough, 0.1)
+	addColdRegion(g, "lp_phase_reset", olatch, outer, 6, 15, 0.002)
 	return g
 }
 

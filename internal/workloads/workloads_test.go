@@ -11,8 +11,8 @@ func TestSuiteBuilds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(all) != 9 {
-		t.Fatalf("suite size = %d, want 9", len(all))
+	if len(all) != 11 {
+		t.Fatalf("suite size = %d, want 11", len(all))
 	}
 	seen := map[string]bool{}
 	for _, w := range all {
@@ -69,7 +69,7 @@ func TestByName(t *testing.T) {
 
 func TestNames(t *testing.T) {
 	names := Names()
-	if len(names) != 9 {
+	if len(names) != 11 {
 		t.Fatalf("names = %v", names)
 	}
 	for i := 1; i < len(names); i++ {
