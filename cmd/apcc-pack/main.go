@@ -22,6 +22,7 @@ import (
 	"apbcc/internal/pack"
 	"apbcc/internal/program"
 	"apbcc/internal/report"
+	"apbcc/internal/store"
 	"apbcc/internal/workloads"
 )
 
@@ -34,6 +35,7 @@ func main() {
 		info      = flag.String("info", "", "container to summarize")
 		verify    = flag.String("verify", "", "container to unpack and validate")
 		parallel  = flag.Int("parallel", 1, "block-compression workers (0 = GOMAXPROCS)")
+		storeDir  = flag.String("store", "", "also persist the container to this content-addressed store\n(same layout apcc-serve -store consumes for warm restarts)")
 	)
 	flag.Parse()
 
@@ -44,6 +46,7 @@ func main() {
 			fatal(err)
 		}
 		tb := report.NewTable("container "+*info, "field", "value")
+		tb.AddRow("format version", inf.Version)
 		tb.AddRow("codec", codec.Name())
 		tb.AddRow("blocks", inf.Blocks)
 		tb.AddRow("plain image", report.KB(inf.PlainBytes))
@@ -83,8 +86,8 @@ func main() {
 		default:
 			fatal(fmt.Errorf("one of -workload, -asm, -info, -verify is required"))
 		}
-		if *out == "" {
-			fatal(fmt.Errorf("-o is required when packing"))
+		if *out == "" && *storeDir == "" {
+			fatal(fmt.Errorf("-o or -store is required when packing"))
 		}
 		code, err := p.CodeBytes()
 		if err != nil {
@@ -98,11 +101,30 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := os.WriteFile(*out, data, 0o644); err != nil {
-			fatal(err)
+		if *out != "" {
+			if err := os.WriteFile(*out, data, 0o644); err != nil {
+				fatal(err)
+			}
 		}
-		fmt.Printf("packed %s: %d bytes of code -> %d-byte container (%s)\n",
-			p.Name, p.TotalBytes(), len(data), codec.Name())
+		if *storeDir != "" {
+			st, err := store.Open(*storeDir)
+			if err != nil {
+				fatal(err)
+			}
+			key, err := st.Put(data)
+			if err != nil {
+				fatal(err)
+			}
+			// The same (name, codec) binding apcc-serve resolves on a
+			// warm restart: pre-packing a corpus here makes every first
+			// request a store restore, never a packer run.
+			if err := st.PutRef(store.RefName(p.Name, codec.Name()), key); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("stored %s as %s\n", p.Name, key[:12])
+		}
+		fmt.Printf("packed %s: %d bytes of code -> %d-byte container (%s, format v%d)\n",
+			p.Name, p.TotalBytes(), len(data), codec.Name(), pack.Version)
 	}
 }
 

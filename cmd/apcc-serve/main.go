@@ -7,9 +7,11 @@
 // Usage:
 //
 //	apcc-serve -addr :8080                        # serve
+//	apcc-serve -addr :8080 -store /var/lib/apcc   # + disk tier & warm restarts
 //	apcc-serve -loadgen -clients 32 -workload fft # loadgen against an
 //	                                              # in-process server
 //	apcc-serve -loadgen -target http://host:8080 -clients 64 -steps 1000
+//	apcc-serve -coldwarm -store ./s -workload fft # restart scenario
 package main
 
 import (
@@ -31,15 +33,17 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address (serve mode)")
-		cacheMB = flag.Int("cache-mb", 32, "block cache capacity in MiB")
-		shards  = flag.Int("shards", 16, "block cache shard count")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "pack/compress worker pool size")
-		queue   = flag.Int("queue", 256, "worker pool queue depth")
-		batch   = flag.Int("batch", 8, "worker pool max batch per wakeup")
-		polName = flag.String("policy", "klru", "block-cache replacement policy: "+strings.Join(policy.Names(), " | "))
+		addr     = flag.String("addr", ":8080", "listen address (serve mode)")
+		cacheMB  = flag.Int("cache-mb", 32, "block cache capacity in MiB")
+		shards   = flag.Int("shards", 16, "block cache shard count")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "pack/compress worker pool size")
+		queue    = flag.Int("queue", 256, "worker pool queue depth")
+		batch    = flag.Int("batch", 8, "worker pool max batch per wakeup")
+		polName  = flag.String("policy", "klru", "block-cache replacement policy: "+strings.Join(policy.Names(), " | "))
+		storeDir = flag.String("store", "", "content-addressed disk store directory (L2 tier + warm restarts)")
 
 		loadgen  = flag.Bool("loadgen", false, "run the load generator instead of serving")
+		coldwarm = flag.Bool("coldwarm", false, "loadgen: run the cold-start/warm-restart scenario (requires -store)")
 		target   = flag.String("target", "", "loadgen target base URL (default: in-process server)")
 		clients  = flag.Int("clients", 32, "loadgen concurrent clients")
 		steps    = flag.Int("steps", 500, "loadgen trace steps per client")
@@ -59,8 +63,15 @@ func main() {
 		QueueDepth:  *queue,
 		MaxBatch:    *batch,
 		Policy:      *polName,
+		StoreDir:    *storeDir,
 	}
 
+	if *coldwarm {
+		if err := runColdWarm(cfg, *workload, *codec, *clients, *steps, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *loadgen {
 		if err := runLoadgen(cfg, *target, *workload, *codec, *clients, *steps, *seed); err != nil {
 			fatal(err)
@@ -68,7 +79,10 @@ func main() {
 		return
 	}
 
-	srv := service.New(cfg)
+	srv, err := service.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
 	defer srv.Close()
 	httpSrv := &http.Server{
 		Addr:    *addr,
@@ -105,7 +119,11 @@ func main() {
 func runLoadgen(cfg service.Config, target, workload, codec string, clients, steps int, seed int64) error {
 	var inproc *service.Server
 	if target == "" {
-		inproc = service.New(cfg)
+		var err error
+		inproc, err = service.New(cfg)
+		if err != nil {
+			return err
+		}
 		defer inproc.Close()
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -152,6 +170,45 @@ func runLoadgen(cfg service.Config, target, workload, codec string, clients, ste
 	}
 	if stats.FirstError != nil {
 		return fmt.Errorf("loadgen saw %d errors; first: %w", stats.Errors, stats.FirstError)
+	}
+	return nil
+}
+
+// runColdWarm runs the restart scenario: a cold server against the
+// store dir, then a fresh server on the same dir, reporting what the
+// warm store saved.
+func runColdWarm(cfg service.Config, workload, codec string, clients, steps int, seed int64) error {
+	if cfg.StoreDir == "" {
+		return fmt.Errorf("-coldwarm requires -store")
+	}
+	stats, err := service.RunColdWarm(context.Background(), cfg, service.LoadConfig{
+		Workload: workload,
+		Codec:    codec,
+		Clients:  clients,
+		Steps:    steps,
+		Seed:     seed,
+	})
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(fmt.Sprintf("cold vs warm %s/%s", workload, codec),
+		"metric", "cold", "warm")
+	t.AddRow("packs_built", stats.ColdPacks, stats.WarmPacks)
+	t.AddRow("store_restores", 0, stats.WarmRestores)
+	t.AddRow("first_container", stats.ColdFirst.Round(time.Microsecond).String(),
+		stats.WarmFirst.Round(time.Microsecond).String())
+	t.AddRow("block_fetches", stats.Cold.Requests, stats.Warm.Requests)
+	t.AddRow("errors", stats.Cold.Errors, stats.Warm.Errors)
+	t.AddRow("fetches_per_sec", fmt.Sprintf("%.0f", stats.Cold.Throughput()),
+		fmt.Sprintf("%.0f", stats.Warm.Throughput()))
+	t.AddRow("latency_p99", stats.Cold.Latency.Quantile(0.99).String(),
+		stats.Warm.Latency.Quantile(0.99).String())
+	fmt.Print(t)
+	if stats.WarmPacks > 0 {
+		return fmt.Errorf("warm phase invoked the packer %d times; store did not serve", stats.WarmPacks)
+	}
+	if stats.Cold.FirstError != nil || stats.Warm.FirstError != nil {
+		return fmt.Errorf("scenario errors: cold=%v warm=%v", stats.Cold.FirstError, stats.Warm.FirstError)
 	}
 	return nil
 }

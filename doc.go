@@ -25,10 +25,13 @@
 //	workloads  eleven-kernel synthetic embedded benchmark suite
 //	bench      experiment harnesses (the tables in EXPERIMENTS.md)
 //	report     text tables / CSV
-//	pack       deployable compressed-image containers (the APCC format)
+//	pack       deployable compressed-image containers (the APCC format,
+//	           v2: indexed for random block access)
+//	store      content-addressed on-disk container store (crash-safe
+//	           writes, fsck + quarantine, ReadAt block serving)
 //	service    concurrent pack-serving subsystem: sharded block cache,
-//	           batching worker pool, HTTP container/block endpoints,
-//	           load generator
+//	           L2 disk tier with warm restarts, batching worker pool,
+//	           HTTP container/block endpoints, load generator
 //
 // Commands: cmd/apcc (single run), cmd/apcc-sweep (regenerate all
 // experiment tables), cmd/apcc-pack (build/inspect containers),

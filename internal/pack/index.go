@@ -1,0 +1,242 @@
+// Index: the v2 container's block index table, and random block access
+// through it. The index is a pure prefix of the container (header,
+// per-block table, edges), so a reader can locate and decompress any
+// single block with one bounded metadata read plus one ReadAt of the
+// payload bytes — the software analogue of block-granular access to
+// compressed memory, and what lets the disk store serve blocks without
+// inflating whole containers.
+package pack
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"apbcc/internal/cfg"
+	"apbcc/internal/compress"
+	"apbcc/internal/isa"
+)
+
+// IndexEntry locates one block's compressed payload inside a v2
+// container and carries enough metadata to verify it in isolation.
+type IndexEntry struct {
+	Label string
+	Func  string
+	Words int    // plain size in ERI32 words
+	Off   int64  // payload offset, relative to Index.PayloadBase
+	Len   int64  // compressed payload length in bytes
+	CRC   uint32 // IEEE CRC-32 of the plain block image
+}
+
+// Index is the parsed metadata prefix of a v2 container: everything
+// except the payload bytes themselves. It is sufficient to reconstruct
+// the CFG, rebuild the trained codec, and read any block's compressed
+// payload directly by offset.
+type Index struct {
+	Codec    string
+	Model    []byte
+	ImageCRC uint32 // IEEE CRC-32 of the whole plain image
+	Entry    cfg.BlockID
+	Blocks   []IndexEntry
+	Edges    []cfg.Edge
+
+	PayloadBase int64 // absolute container offset of the payload section
+	PayloadLen  int64 // total payload section length in bytes
+}
+
+// indexReadChunk is the initial (and growth-step) prefix size for
+// ReadIndexAt. Suite container metadata fits in one chunk; hostile or
+// huge inputs grow geometrically up to the file size.
+const indexReadChunk = 64 << 10
+
+// ParseIndex parses the metadata prefix of a v2 container. data may be
+// the full container or any prefix long enough to hold the metadata;
+// payload bytes after the index are not touched. v1 containers are
+// rejected with ErrBadVersion: they have no index, so blocks cannot be
+// located without a full decompression pass.
+func ParseIndex(data []byte) (*Index, error) {
+	r := &reader{data: data}
+	if !bytes.Equal(r.take(len(Magic)), Magic) {
+		return nil, ErrBadMagic
+	}
+	if v := r.uvarint(); v != Version {
+		if r.err != nil {
+			return nil, r.err
+		}
+		return nil, fmt.Errorf("%w: %d (index requires v%d)", ErrBadVersion, v, Version)
+	}
+	idx := &Index{}
+	idx.Codec = string(r.bytes())
+	idx.Model = bytes.Clone(r.bytes())
+	crcBytes := r.take(4)
+	if r.err != nil {
+		return nil, r.err
+	}
+	idx.ImageCRC = binary.LittleEndian.Uint32(crcBytes)
+
+	idx.Entry = cfg.BlockID(r.uvarint())
+	nblocks := int(r.uvarint())
+	if r.err != nil || nblocks <= 0 || nblocks > 1<<20 {
+		return nil, fmt.Errorf("%w: block count", ErrCorrupt)
+	}
+	idx.Blocks = make([]IndexEntry, nblocks)
+	var off int64
+	for i := range idx.Blocks {
+		e := &idx.Blocks[i]
+		e.Label = string(r.bytes())
+		e.Func = string(r.bytes())
+		e.Words = int(r.uvarint())
+		e.Off = int64(r.uvarint())
+		e.Len = int64(r.uvarint())
+		bcrc := r.take(4)
+		if r.err != nil {
+			return nil, r.err
+		}
+		e.CRC = binary.LittleEndian.Uint32(bcrc)
+		// Payloads are packed back to back in block order; anything else
+		// is not a container Pack could have produced.
+		if e.Off != off || e.Len < 0 {
+			return nil, fmt.Errorf("%w: block %d payload at %d/%d, want contiguous at %d",
+				ErrCorrupt, i, e.Off, e.Len, off)
+		}
+		off += e.Len
+	}
+	nedges := int(r.uvarint())
+	if r.err != nil || nedges < 0 || nedges > 1<<22 {
+		return nil, fmt.Errorf("%w: edge count", ErrCorrupt)
+	}
+	idx.Edges = make([]cfg.Edge, nedges)
+	for i := range idx.Edges {
+		e := &idx.Edges[i]
+		e.From = cfg.BlockID(r.uvarint())
+		e.To = cfg.BlockID(r.uvarint())
+		e.Kind = cfg.EdgeKind(r.uvarint())
+		p64 := r.take(8)
+		if r.err != nil {
+			return nil, r.err
+		}
+		e.Prob = math.Float64frombits(binary.LittleEndian.Uint64(p64))
+		if !validProb(e.Prob) {
+			return nil, fmt.Errorf("%w: edge %d probability %v outside [0,1]", ErrCorrupt, i, e.Prob)
+		}
+	}
+	idx.PayloadLen = int64(r.uvarint())
+	if r.err != nil {
+		return nil, r.err
+	}
+	if idx.PayloadLen != off {
+		return nil, fmt.Errorf("%w: payload section %d bytes, index spans %d", ErrCorrupt, idx.PayloadLen, off)
+	}
+	idx.PayloadBase = int64(len(data) - len(r.data))
+	return idx, nil
+}
+
+// ReadIndexAt parses a v2 container's index from a random-access
+// reader holding size bytes, reading only as much of the metadata
+// prefix as needed (geometrically growing from a 64 KiB guess). The
+// payload section is never read.
+func ReadIndexAt(r io.ReaderAt, size int64) (*Index, error) {
+	n := int64(indexReadChunk)
+	for {
+		if n > size {
+			n = size
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(io.NewSectionReader(r, 0, n), buf); err != nil {
+			return nil, fmt.Errorf("pack: index read: %w", err)
+		}
+		idx, err := ParseIndex(buf)
+		if err == nil {
+			if idx.PayloadBase+idx.PayloadLen != size {
+				return nil, fmt.Errorf("%w: container is %d bytes, index describes %d",
+					ErrCorrupt, size, idx.PayloadBase+idx.PayloadLen)
+			}
+			return idx, nil
+		}
+		if n >= size {
+			return nil, err
+		}
+		// The prefix may simply have cut the metadata short; retry with
+		// a larger one before concluding the container is corrupt.
+		n *= 4
+	}
+}
+
+// NewCodec rebuilds the trained codec the container's payloads were
+// compressed with.
+func (x *Index) NewCodec() (compress.Codec, error) {
+	c, err := compress.FromModel(x.Codec, x.Model)
+	if err != nil {
+		return nil, fmt.Errorf("pack: %w", err)
+	}
+	return c, nil
+}
+
+// ReadPayloadAt reads block i's raw compressed payload from r via one
+// ReadAt of exactly Len bytes. No decompression or verification
+// happens; pair with VerifyBlock (or DecompressBlockAt) before trusting
+// the bytes.
+func (x *Index) ReadPayloadAt(r io.ReaderAt, i int) ([]byte, error) {
+	if i < 0 || i >= len(x.Blocks) {
+		return nil, fmt.Errorf("%w: no block %d (%d blocks)", ErrCorrupt, i, len(x.Blocks))
+	}
+	e := x.Blocks[i]
+	buf := make([]byte, e.Len)
+	if _, err := r.ReadAt(buf, x.PayloadBase+e.Off); err != nil {
+		return nil, fmt.Errorf("pack: block %d payload read: %w", i, err)
+	}
+	return buf, nil
+}
+
+// DecompressBlockAt reads block i's payload from r, decompresses it
+// with the given codec appending to dst, and verifies the plain image
+// against the index's per-block length and CRC. It returns the
+// compressed payload and the grown dst; dst[start:] is the plain
+// image. Any mismatch is ErrCorrupt (or ErrBadChecksum for a CRC
+// failure).
+func (x *Index) DecompressBlockAt(r io.ReaderAt, codec compress.Codec, i int, dst []byte) (comp, plain []byte, err error) {
+	comp, err = x.ReadPayloadAt(r, i)
+	if err != nil {
+		return nil, nil, err
+	}
+	plain, err = x.VerifyBlock(codec, i, comp, dst)
+	if err != nil {
+		return nil, nil, err
+	}
+	return comp, plain, nil
+}
+
+// VerifyBlock decompresses one block's compressed payload appending to
+// dst and checks length and CRC against index entry i. It returns the
+// grown dst (the plain image occupies the appended suffix).
+func (x *Index) VerifyBlock(codec compress.Codec, i int, comp, dst []byte) ([]byte, error) {
+	if i < 0 || i >= len(x.Blocks) {
+		return dst, fmt.Errorf("%w: no block %d (%d blocks)", ErrCorrupt, i, len(x.Blocks))
+	}
+	e := x.Blocks[i]
+	start := len(dst)
+	out, err := codec.DecompressAppend(dst, comp)
+	if err != nil {
+		return dst, fmt.Errorf("pack: block %d: %w", i, err)
+	}
+	got := out[start:]
+	if len(got) != e.Words*isa.WordSize {
+		return out[:start], fmt.Errorf("%w: block %d decompressed to %d bytes, want %d",
+			ErrCorrupt, i, len(got), e.Words*isa.WordSize)
+	}
+	if crc := crc32.ChecksumIEEE(got); crc != e.CRC {
+		return out[:start], fmt.Errorf("%w: block %d: %#x != %#x", ErrBadChecksum, i, crc, e.CRC)
+	}
+	return out, nil
+}
+
+// validProb reports whether an edge probability deserialized from a
+// container is sane: finite and within [0,1]. NaN/Inf/out-of-range
+// values would poison prefetch scoring downstream, so Unpack rejects
+// them as corruption.
+func validProb(p float64) bool {
+	return !math.IsNaN(p) && !math.IsInf(p, 0) && p >= 0 && p <= 1
+}

@@ -1,0 +1,213 @@
+package pack
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math"
+	"testing"
+
+	"apbcc/internal/compress"
+	"apbcc/internal/workloads"
+)
+
+// packWorkloadVersion packs a suite workload in the requested container
+// format version.
+func packWorkloadVersion(t testing.TB, workload, codecName string, version int) ([]byte, *workloads.Workload) {
+	t.Helper()
+	w, err := workloads.ByName(workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := w.Program.CodeBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec, err := compress.New(codecName, code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := packVersion(w.Program, codec, 1, version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data, w
+}
+
+// TestCrossVersionUnpackMatrix pins v2→Unpack equivalence with v1: for
+// every codec, packing the same program in both formats must unpack to
+// identical instruction streams, CFGs and block images.
+func TestCrossVersionUnpackMatrix(t *testing.T) {
+	for _, codecName := range compress.Names() {
+		t.Run(codecName, func(t *testing.T) {
+			v1, _ := packWorkloadVersion(t, "fft", codecName, VersionV1)
+			v2, w := packWorkloadVersion(t, "fft", codecName, Version)
+			p1, _, i1, err := Unpack("fft", v1)
+			if err != nil {
+				t.Fatalf("v1 unpack: %v", err)
+			}
+			p2, _, i2, err := Unpack("fft", v2)
+			if err != nil {
+				t.Fatalf("v2 unpack: %v", err)
+			}
+			if i1.Version != VersionV1 || i2.Version != Version {
+				t.Fatalf("info versions = %d, %d", i1.Version, i2.Version)
+			}
+			// Identical payload bytes in both formats: the index adds
+			// metadata, it does not change compression.
+			if i1.CompressedBytes != i2.CompressedBytes {
+				t.Errorf("payload bytes differ: v1=%d v2=%d", i1.CompressedBytes, i2.CompressedBytes)
+			}
+			c1, err := p1.CodeBytes()
+			if err != nil {
+				t.Fatal(err)
+			}
+			c2, err := p2.CodeBytes()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := w.Program.CodeBytes()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(c1, want) || !bytes.Equal(c2, want) {
+				t.Fatal("reconstructed code images differ from the original")
+			}
+			if p1.Graph.NumBlocks() != p2.Graph.NumBlocks() {
+				t.Fatal("block counts differ across versions")
+			}
+			for _, b := range p1.Graph.Blocks() {
+				b2 := p2.Graph.Block(b.ID)
+				if b.Label != b2.Label || b.Func != b2.Func || b.Words() != b2.Words() {
+					t.Fatalf("block %d metadata differs across versions", b.ID)
+				}
+				e1, e2 := p1.Graph.Succs(b.ID), p2.Graph.Succs(b.ID)
+				if len(e1) != len(e2) {
+					t.Fatalf("block %d out-degree differs", b.ID)
+				}
+				for i := range e1 {
+					if e1[i] != e2[i] {
+						t.Fatalf("block %d edge %d differs: %+v vs %+v", b.ID, i, e1[i], e2[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestIndexLocatesEveryBlock is the random-access acceptance pin: every
+// block fetched through the v2 index (one ReadAt plus one decompress)
+// must be byte- and CRC-identical to the same block from a full Unpack.
+func TestIndexLocatesEveryBlock(t *testing.T) {
+	for _, codecName := range []string{"dict", "lzss", "identity"} {
+		t.Run(codecName, func(t *testing.T) {
+			data, _ := packWorkloadVersion(t, "fft", codecName, Version)
+			idx, err := ParseIndex(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			codec, err := idx.NewCodec()
+			if err != nil {
+				t.Fatal(err)
+			}
+			full, _, _, err := Unpack("fft", data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(idx.Blocks) != full.Graph.NumBlocks() {
+				t.Fatalf("index has %d blocks, program %d", len(idx.Blocks), full.Graph.NumBlocks())
+			}
+			r := bytes.NewReader(data)
+			for i, b := range full.Graph.Blocks() {
+				want, err := full.BlockBytes(b.ID)
+				if err != nil {
+					t.Fatal(err)
+				}
+				comp, plain, err := idx.DecompressBlockAt(r, codec, i, nil)
+				if err != nil {
+					t.Fatalf("block %d: %v", i, err)
+				}
+				if !bytes.Equal(plain, want) {
+					t.Fatalf("block %d image differs from full Unpack", i)
+				}
+				if got := crc32.ChecksumIEEE(plain); got != idx.Blocks[i].CRC {
+					t.Fatalf("block %d CRC %#x != index %#x", i, got, idx.Blocks[i].CRC)
+				}
+				// The raw payload must be the exact container slice.
+				e := idx.Blocks[i]
+				if !bytes.Equal(comp, data[idx.PayloadBase+e.Off:idx.PayloadBase+e.Off+e.Len]) {
+					t.Fatalf("block %d payload differs from container slice", i)
+				}
+			}
+		})
+	}
+}
+
+// TestReadIndexAt drives the ReaderAt path, including the
+// grow-the-prefix retry and the size cross-check.
+func TestReadIndexAt(t *testing.T) {
+	data, _ := packWorkloadVersion(t, "fft", "dict", Version)
+	idx, err := ReadIndexAt(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := ParseIndex(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.PayloadBase != ref.PayloadBase || idx.PayloadLen != ref.PayloadLen ||
+		len(idx.Blocks) != len(ref.Blocks) {
+		t.Fatalf("ReadIndexAt diverges from ParseIndex: %+v vs %+v", idx, ref)
+	}
+	// A size that does not match the index's own accounting is corrupt
+	// (e.g. a truncated object file).
+	if _, err := ReadIndexAt(bytes.NewReader(data), int64(len(data)-1)); err == nil {
+		t.Fatal("truncated container accepted")
+	}
+	// v1 containers have no index.
+	v1, _ := packWorkloadVersion(t, "fft", "dict", VersionV1)
+	if _, err := ParseIndex(v1); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("ParseIndex(v1) err = %v, want ErrBadVersion", err)
+	}
+}
+
+// TestUnpackRejectsBadEdgeProb pins the hostile-container check: NaN,
+// Inf or out-of-range edge probabilities (which would poison Markov
+// prefetch scoring) must be ErrCorrupt in both format versions.
+func TestUnpackRejectsBadEdgeProb(t *testing.T) {
+	for _, version := range []int{VersionV1, Version} {
+		data, w := packWorkloadVersion(t, "crc32", "identity", version)
+		// Locate a real edge probability's fixed64 encoding and overwrite
+		// it in place; nothing else in the container changes.
+		var probBits [8]byte
+		var found bool
+		for _, b := range w.Program.Graph.Blocks() {
+			for _, e := range w.Program.Graph.Succs(b.ID) {
+				binary.LittleEndian.PutUint64(probBits[:], math.Float64bits(e.Prob))
+				if bytes.Count(data, probBits[:]) == 1 {
+					found = true
+					break
+				}
+			}
+			if found {
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("v%d: no uniquely-locatable edge probability", version)
+		}
+		pos := bytes.Index(data, probBits[:])
+		for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -0.25, 1.5} {
+			mut := bytes.Clone(data)
+			binary.LittleEndian.PutUint64(mut[pos:], math.Float64bits(bad))
+			if _, _, _, err := Unpack("hostile", mut); !errors.Is(err, ErrCorrupt) {
+				t.Errorf("v%d prob %v: err = %v, want ErrCorrupt", version, bad, err)
+			}
+		}
+		// Sanity: the untouched container still unpacks.
+		if _, _, _, err := Unpack("ok", data); err != nil {
+			t.Fatalf("v%d baseline: %v", version, err)
+		}
+	}
+}

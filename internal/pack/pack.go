@@ -8,11 +8,25 @@
 // payloads and re-deriving the instruction stream, then verifies a
 // whole-image checksum.
 //
-// Wire format (all integers uvarint unless noted, little-endian):
+// Wire format v2 (all integers uvarint unless noted, little-endian;
+// fixed32/fixed64 fields are raw little-endian):
 //
-//	magic "APCC" | version | codec name | model | crc32 of plain image
-//	entry block | nblocks | per block: label, func, words, payload
+//	magic "APCC" | version=2 | codec name | model | crc32 of plain image (fixed32)
+//	entry block | nblocks
+//	index table, per block: label, func, words,
+//	    payload offset, payload length, crc32 of plain block (fixed32)
 //	nedges | per edge: from, to, kind, prob (float64 bits, fixed64)
+//	payload section length | concatenated compressed payloads
+//
+// Everything before the payload section is the *index*: a pure
+// metadata prefix from which any single block's compressed payload can
+// be located (offset is relative to the payload section start) and
+// verified (per-block CRC of the plain image) without touching the
+// rest of the container — see Index / ReadIndexAt / DecompressBlockAt.
+//
+// The legacy v1 format interleaved each payload with its block record
+// and had no per-block CRCs or offsets, so v1 containers can only be
+// decompressed front to back. Unpack reads both; Pack emits v2.
 package pack
 
 import (
@@ -34,8 +48,12 @@ import (
 // Magic identifies a pack container.
 var Magic = []byte("APCC")
 
-// Version is the container format version.
-const Version = 1
+// Version is the container format version Pack emits (the indexed
+// format). VersionV1 is the legacy index-less format, still readable.
+const (
+	Version   = 2
+	VersionV1 = 1
+)
 
 // Errors.
 var (
@@ -60,6 +78,16 @@ func Pack(p *program.Program, codec compress.Codec) ([]byte, error) {
 // concurrent use (all built-in codecs are — per-call state is
 // stack-local or pooled).
 func PackParallel(p *program.Program, codec compress.Codec, workers int) ([]byte, error) {
+	return packVersion(p, codec, workers, Version)
+}
+
+// packVersion serializes the program in the requested container format
+// version. v1 stays writable so the cross-version test matrix can pin
+// that Unpack reads legacy containers identically.
+func packVersion(p *program.Program, codec compress.Codec, workers, version int) ([]byte, error) {
+	if version != Version && version != VersionV1 {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, version)
+	}
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -67,27 +95,33 @@ func PackParallel(p *program.Program, codec compress.Codec, workers int) ([]byte
 	if err != nil {
 		return nil, err
 	}
-	payloads, err := compressBlocks(p, codec, workers)
+	payloads, crcs, err := compressBlocks(p, codec, workers)
 	if err != nil {
 		return nil, err
 	}
 	var buf bytes.Buffer
 	buf.Write(Magic)
-	writeUvarint(&buf, Version)
+	writeUvarint(&buf, uint64(version))
 	writeBytes(&buf, []byte(codec.Name()))
 	writeBytes(&buf, compress.MarshalModel(codec))
-	var crc [4]byte
-	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(plain))
-	buf.Write(crc[:])
+	writeFixed32(&buf, crc32.ChecksumIEEE(plain))
 
 	g := p.Graph
 	writeUvarint(&buf, uint64(g.Entry()))
 	writeUvarint(&buf, uint64(g.NumBlocks()))
+	var off uint64
 	for i, b := range g.Blocks() {
 		writeBytes(&buf, []byte(b.Label))
 		writeBytes(&buf, []byte(b.Func))
 		writeUvarint(&buf, uint64(b.Words()))
-		writeBytes(&buf, payloads[i])
+		if version == VersionV1 {
+			writeBytes(&buf, payloads[i])
+			continue
+		}
+		writeUvarint(&buf, off)
+		writeUvarint(&buf, uint64(len(payloads[i])))
+		writeFixed32(&buf, crcs[i])
+		off += uint64(len(payloads[i]))
 	}
 	var edges []cfg.Edge
 	for _, b := range g.Blocks() {
@@ -102,15 +136,21 @@ func PackParallel(p *program.Program, codec compress.Codec, workers int) ([]byte
 		binary.LittleEndian.PutUint64(p64[:], math.Float64bits(e.Prob))
 		buf.Write(p64[:])
 	}
+	if version == Version {
+		writeUvarint(&buf, off)
+		for _, pay := range payloads {
+			buf.Write(pay)
+		}
+	}
 	return buf.Bytes(), nil
 }
 
-// compressBlocks compresses every block image, returning payloads
-// indexed in g.Blocks() order. Workers take strided indices so the
-// result is position-deterministic regardless of scheduling; each
-// worker reuses one pooled scratch buffer and retains only exact-size
-// payload copies.
-func compressBlocks(p *program.Program, codec compress.Codec, workers int) ([][]byte, error) {
+// compressBlocks compresses every block image, returning payloads and
+// plain-image CRCs indexed in g.Blocks() order. Workers take strided
+// indices so the result is position-deterministic regardless of
+// scheduling; each worker reuses one pooled scratch buffer and retains
+// only exact-size payload copies.
+func compressBlocks(p *program.Program, codec compress.Codec, workers int) ([][]byte, []uint32, error) {
 	blocks := p.Graph.Blocks()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -119,6 +159,7 @@ func compressBlocks(p *program.Program, codec compress.Codec, workers int) ([][]
 		workers = len(blocks)
 	}
 	payloads := make([][]byte, len(blocks))
+	crcs := make([]uint32, len(blocks))
 	stride := func(start int) error {
 		scratch := compress.GetBuf(0)
 		defer func() { compress.PutBuf(scratch) }()
@@ -127,6 +168,7 @@ func compressBlocks(p *program.Program, codec compress.Codec, workers int) ([][]
 			if err != nil {
 				return err
 			}
+			crcs[i] = crc32.ChecksumIEEE(img)
 			if need := codec.MaxCompressedLen(len(img)); cap(scratch) < need {
 				compress.PutBuf(scratch)
 				scratch = compress.GetBuf(need)
@@ -140,7 +182,7 @@ func compressBlocks(p *program.Program, codec compress.Codec, workers int) ([][]
 		return nil
 	}
 	if workers <= 1 {
-		return payloads, stride(0)
+		return payloads, crcs, stride(0)
 	}
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
@@ -154,14 +196,15 @@ func compressBlocks(p *program.Program, codec compress.Codec, workers int) ([][]
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	return payloads, nil
+	return payloads, crcs, nil
 }
 
 // Info summarizes a container without fully unpacking it.
 type Info struct {
+	Version         int
 	Codec           string
 	Blocks          int
 	Edges           int
@@ -171,16 +214,29 @@ type Info struct {
 }
 
 // Unpack reconstructs the program and its trained codec from a
-// container, verifying the image checksum.
+// container, verifying the image checksum (and, for v2, every
+// per-block checksum). Both format versions are accepted.
 func Unpack(name string, data []byte) (*program.Program, compress.Codec, *Info, error) {
 	r := &reader{data: data}
 	magic := r.take(len(Magic))
 	if !bytes.Equal(magic, Magic) {
 		return nil, nil, nil, ErrBadMagic
 	}
-	if v := r.uvarint(); v != Version {
+	switch v := r.uvarint(); {
+	case r.err != nil:
+		return nil, nil, nil, r.err
+	case v == VersionV1:
+		return unpackV1(name, r, len(data))
+	case v == Version:
+		return unpackV2(name, data)
+	default:
 		return nil, nil, nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
 	}
+}
+
+// unpackV1 reads the legacy interleaved format; r is positioned just
+// past the version field.
+func unpackV1(name string, r *reader, containerBytes int) (*program.Program, compress.Codec, *Info, error) {
 	codecName := string(r.bytes())
 	model := r.bytes()
 	crcBytes := r.take(4)
@@ -199,7 +255,7 @@ func Unpack(name string, data []byte) (*program.Program, compress.Codec, *Info, 
 		return nil, nil, nil, fmt.Errorf("%w: block count", ErrCorrupt)
 	}
 	g := cfg.New()
-	info := &Info{Codec: codecName, Blocks: nblocks, ContainerBytes: len(data)}
+	info := &Info{Version: VersionV1, Codec: codecName, Blocks: nblocks, ContainerBytes: containerBytes}
 	var plain []byte
 	for i := 0; i < nblocks; i++ {
 		label := string(r.bytes())
@@ -231,6 +287,7 @@ func Unpack(name string, data []byte) (*program.Program, compress.Codec, *Info, 
 	if r.err != nil || nedges < 0 || nedges > 1<<22 {
 		return nil, nil, nil, fmt.Errorf("%w: edge count", ErrCorrupt)
 	}
+	info.Edges = nedges
 	for i := 0; i < nedges; i++ {
 		from := cfg.BlockID(r.uvarint())
 		to := cfg.BlockID(r.uvarint())
@@ -240,12 +297,63 @@ func Unpack(name string, data []byte) (*program.Program, compress.Codec, *Info, 
 			return nil, nil, nil, r.err
 		}
 		prob := math.Float64frombits(binary.LittleEndian.Uint64(p64))
+		if !validProb(prob) {
+			return nil, nil, nil, fmt.Errorf("%w: edge %d probability %v outside [0,1]", ErrCorrupt, i, prob)
+		}
 		if err := g.AddEdge(from, to, kind, prob); err != nil {
 			return nil, nil, nil, fmt.Errorf("%w: edge %d: %v", ErrCorrupt, i, err)
 		}
 	}
-	info.PlainBytes = len(plain)
+	return finalize(name, g, plain, wantCRC, info, codec)
+}
 
+// unpackV2 reads the indexed format: parse the metadata prefix, then
+// decompress the payload section block by block, verifying each block
+// CRC as it lands.
+func unpackV2(name string, data []byte) (*program.Program, compress.Codec, *Info, error) {
+	idx, err := ParseIndex(data)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if idx.PayloadBase+idx.PayloadLen != int64(len(data)) {
+		return nil, nil, nil, fmt.Errorf("%w: container is %d bytes, index describes %d",
+			ErrCorrupt, len(data), idx.PayloadBase+idx.PayloadLen)
+	}
+	codec, err := idx.NewCodec()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	info := &Info{
+		Version: Version, Codec: idx.Codec, Blocks: len(idx.Blocks), Edges: len(idx.Edges),
+		CompressedBytes: int(idx.PayloadLen), ContainerBytes: len(data),
+	}
+	g := cfg.New()
+	var plain []byte
+	for i := range idx.Blocks {
+		e := idx.Blocks[i]
+		id := g.AddBlock(e.Label, e.Words)
+		g.Block(id).Func = e.Func
+		comp := data[idx.PayloadBase+e.Off : idx.PayloadBase+e.Off+e.Len]
+		if plain, err = idx.VerifyBlock(codec, i, comp, plain); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	if err := g.SetEntry(idx.Entry); err != nil {
+		return nil, nil, nil, fmt.Errorf("%w: entry %d", ErrCorrupt, idx.Entry)
+	}
+	for i, e := range idx.Edges {
+		if err := g.AddEdge(e.From, e.To, e.Kind, e.Prob); err != nil {
+			return nil, nil, nil, fmt.Errorf("%w: edge %d: %v", ErrCorrupt, i, err)
+		}
+	}
+	return finalize(name, g, plain, idx.ImageCRC, info, codec)
+}
+
+// finalize is the version-independent tail of Unpack: whole-image
+// checksum, instruction decode, block range re-derivation, and full
+// program validation.
+func finalize(name string, g *cfg.Graph, plain []byte, wantCRC uint32, info *Info, codec compress.Codec) (*program.Program, compress.Codec, *Info, error) {
+	info.PlainBytes = len(plain)
 	if got := crc32.ChecksumIEEE(plain); got != wantCRC {
 		return nil, nil, nil, fmt.Errorf("%w: %#x != %#x", ErrBadChecksum, got, wantCRC)
 	}
@@ -283,6 +391,12 @@ func writeUvarint(buf *bytes.Buffer, v uint64) {
 func writeBytes(buf *bytes.Buffer, b []byte) {
 	writeUvarint(buf, uint64(len(b)))
 	buf.Write(b)
+}
+
+func writeFixed32(buf *bytes.Buffer, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	buf.Write(b[:])
 }
 
 type reader struct {

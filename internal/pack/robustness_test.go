@@ -128,6 +128,8 @@ func FuzzUnpack(f *testing.F) {
 	for _, codec := range []string{"dict", "identity", "lzss"} {
 		data, _ := buildContainer(f, "crc32", codec)
 		f.Add(data)
+		v1, _ := packWorkloadVersion(f, "crc32", codec, VersionV1)
+		f.Add(v1)
 	}
 	f.Add([]byte("APCC"))
 	f.Add([]byte{})

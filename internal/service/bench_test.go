@@ -8,6 +8,12 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"apbcc/internal/cfg"
+	"apbcc/internal/compress"
+	"apbcc/internal/pack"
+	"apbcc/internal/program"
+	"apbcc/internal/store"
 )
 
 // BenchmarkServeBlock measures the hot serving path: cached block
@@ -15,7 +21,10 @@ import (
 func BenchmarkServeBlock(b *testing.B) {
 	for _, codec := range []string{"dict", "lzss", "identity"} {
 		b.Run(codec, func(b *testing.B) {
-			s := New(Config{})
+			s, err := New(Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
 			ts := httptest.NewServer(s.Handler())
 			defer func() { ts.Close(); s.Close() }()
 			url := ts.URL + "/v1/block/fft/2?codec=" + codec
@@ -89,7 +98,10 @@ func BenchmarkPool(b *testing.B) {
 func BenchmarkPackContainer(b *testing.B) {
 	for _, codec := range []string{"dict", "lzss", "huffman"} {
 		b.Run(codec, func(b *testing.B) {
-			s := New(Config{})
+			s, err := New(Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
 			ts := httptest.NewServer(s.Handler())
 			defer func() { ts.Close(); s.Close() }()
 			src := `
@@ -115,4 +127,152 @@ func BenchmarkPackContainer(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkBlockSource isolates the three places a block fetch can be
+// satisfied from, cheapest to dearest: an L1 cache hit, an L2 read
+// through the container index on disk (one ReadAt + decompress +
+// CRC verify), and a full rebuild (re-running the compressor on the
+// plain image). The serving tier is healthy when the middle column
+// sits strictly between the other two.
+func BenchmarkBlockSource(b *testing.B) {
+	// Suite blocks are tens of words — too small for the tiers to
+	// separate from syscall noise. Synthesize production-sized blocks
+	// (16 KiB each) so per-byte costs dominate.
+	g := cfg.New()
+	const nblocks, words = 8, 4096
+	ids := make([]cfg.BlockID, nblocks)
+	for i := range ids {
+		ids[i] = g.AddBlock(fmt.Sprintf("b%d", i), words)
+	}
+	if err := g.SetEntry(ids[0]); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i+1 < len(ids); i++ {
+		g.MustAddEdge(ids[i], ids[i+1], cfg.EdgeJump, 1)
+	}
+	prog, err := program.Synthesize("bigblocks", g, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, codecName := range []string{"dict", "lzss"} {
+		code, err := prog.CodeBytes()
+		if err != nil {
+			b.Fatal(err)
+		}
+		codec, err := compress.New(codecName, code)
+		if err != nil {
+			b.Fatal(err)
+		}
+		container, err := pack.Pack(prog, codec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := store.Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		key, err := st.Put(container)
+		if err != nil {
+			b.Fatal(err)
+		}
+		obj, err := st.Open(key)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plain, err := prog.AllBlockBytes()
+		if err != nil {
+			b.Fatal(err)
+		}
+		id := len(plain) / 2
+		img := plain[id]
+
+		b.Run(codecName+"/l1-hit", func(b *testing.B) {
+			c := NewBlockCache(1, 1<<20)
+			k := BlockAddress(codecName, nil, img)
+			c.GetOrCompute(k, func() ([]byte, error) { return img, nil })
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, hit, _ := c.GetOrCompute(k, nil); !hit {
+					b.Fatal("not a hit")
+				}
+			}
+		})
+		b.Run(codecName+"/l2-index-read", func(b *testing.B) {
+			scratch := compress.GetBuf(len(img))
+			defer compress.PutBuf(scratch)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := obj.VerifiedBlock(codec, id, scratch[:0]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(codecName+"/full-rebuild", func(b *testing.B) {
+			scratch := compress.GetBuf(codec.MaxCompressedLen(len(img)))
+			defer compress.PutBuf(scratch)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := codec.CompressAppend(scratch[:0], img); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		obj.Close()
+	}
+}
+
+// BenchmarkStartup compares what a restarted server pays to get its
+// first (workload, codec) container ready: a cold start runs the
+// packer and the verification unpack; a warm start against a
+// populated store restores from disk without packing.
+func BenchmarkStartup(b *testing.B) {
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s, err := New(Config{Workers: 2, StoreDir: b.TempDir()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := s.entryFor(context.Background(), "fft", "dict"); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			s.Close()
+			b.StartTimer()
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		dir := b.TempDir()
+		seed, err := New(Config{Workers: 2, StoreDir: dir})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := seed.entryFor(context.Background(), "fft", "dict"); err != nil {
+			b.Fatal(err)
+		}
+		seed.Close() // flushes the async persist
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s, err := New(Config{Workers: 2, StoreDir: dir})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ent, _, err := s.entryFor(context.Background(), "fft", "dict")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if ent == nil {
+				b.Fatal("no entry")
+			}
+			b.StopTimer()
+			if s.Metrics().Packs.Load() != 0 {
+				b.Fatal("warm start invoked the packer")
+			}
+			s.Close()
+			b.StartTimer()
+		}
+	})
 }

@@ -49,8 +49,8 @@ func addressWithDigest(codecName string, modelDigest [sha256.Size]byte, plain []
 // CacheStats is a point-in-time aggregate over all shards.
 type CacheStats struct {
 	Hits      int64 // entry found resident
-	Misses    int64 // compute ran
-	Coalesced int64 // request piggybacked on an in-flight compute
+	Misses    int64 // compute ran (or a shared compute failed)
+	Coalesced int64 // request piggybacked on an in-flight compute that succeeded
 	Evictions int64
 	Entries   int64
 	Bytes     int64
@@ -229,10 +229,21 @@ func (s *cacheShard) getOrCompute(key string, compute func() ([]byte, int64, err
 		return val, true, nil
 	}
 	if fl, ok := s.inflight[key]; ok {
-		s.coalesced++
 		s.mu.Unlock()
 		<-fl.done
-		return fl.val, true, fl.err
+		if fl.err != nil {
+			// The shared compute failed: this request got an error, not a
+			// value, so it is neither a hit nor coalesced-as-hit. Count it
+			// as a miss so errored piggybacks cannot inflate HitRate.
+			s.mu.Lock()
+			s.misses++
+			s.mu.Unlock()
+			return nil, false, fl.err
+		}
+		s.mu.Lock()
+		s.coalesced++
+		s.mu.Unlock()
+		return fl.val, true, nil
 	}
 	fl := &flight{done: make(chan struct{})}
 	s.inflight[key] = fl
@@ -292,18 +303,28 @@ func (s *cacheShard) insert(key string, val []byte, cost int64) {
 		if !ok {
 			break
 		}
-		s.removeLocked(victim)
+		if !s.removeLocked(victim) {
+			// Phantom victim: the policy named a key the shard does not
+			// hold, so bytes cannot shrink. The policy has been told to
+			// forget it (OnRemove above); stop rather than spin on a
+			// policy that keeps hallucinating the same victim.
+			break
+		}
 		s.evictions++
 	}
 }
 
-// removeLocked drops one entry; caller holds the lock.
-func (s *cacheShard) removeLocked(key string) {
+// removeLocked drops one entry, reporting whether any bytes were
+// actually released. The policy is told to forget the key even when the
+// shard never held it — otherwise a policy tracking a phantom key would
+// nominate it as victim forever. Caller holds the lock.
+func (s *cacheShard) removeLocked(key string) bool {
 	val, ok := s.items[key]
+	s.pol.OnRemove(key)
 	if !ok {
-		return
+		return false
 	}
 	delete(s.items, key)
 	s.bytes -= len(val)
-	s.pol.OnRemove(key)
+	return true
 }

@@ -8,6 +8,10 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
+
+	"apbcc/internal/cfg"
+	"apbcc/internal/policy"
 )
 
 func TestBlockAddressDistinct(t *testing.T) {
@@ -202,6 +206,64 @@ func TestCacheConcurrentMixed(t *testing.T) {
 	wg.Wait()
 }
 
+// TestCacheCoalescedErrorIsNotAHit is the regression test for waiters
+// piggybacking on a failing compute: they receive the error, must
+// report hit=false (the X-Apcc-Cache header is derived from it), and
+// must not count as coalesced-as-hit in the stats — errored requests
+// previously inflated HitRate.
+func TestCacheCoalescedErrorIsNotAHit(t *testing.T) {
+	c := NewBlockCache(1, 1<<20)
+	boom := errors.New("boom")
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	const waiters = 4
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, hit, err := c.GetOrCompute("k", func() ([]byte, error) {
+			close(entered)
+			<-release
+			return nil, boom
+		})
+		if hit || !errors.Is(err, boom) {
+			t.Errorf("leader: hit=%v err=%v", hit, err)
+		}
+	}()
+	<-entered
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// A waiter that arrives while the leader's compute is in
+			// flight coalesces onto it; one that slips in after the
+			// failure runs this compute itself. Both paths must report
+			// hit=false and the error.
+			_, hit, err := c.GetOrCompute("k", func() ([]byte, error) { return nil, boom })
+			if hit {
+				t.Error("request reported hit=true for a failed compute")
+			}
+			if !errors.Is(err, boom) {
+				t.Errorf("waiter err = %v, want boom", err)
+			}
+		}()
+	}
+	close(release)
+	wg.Wait()
+
+	s := c.Stats()
+	if s.Coalesced != 0 {
+		t.Errorf("coalesced = %d, want 0 (compute failed)", s.Coalesced)
+	}
+	if s.Hits != 0 {
+		t.Errorf("hits = %d, want 0", s.Hits)
+	}
+	if got := s.HitRate(); got != 0 {
+		t.Errorf("hit rate = %v, want 0: errored piggybacks must not look like hits", got)
+	}
+}
+
 // TestCacheCostAwarePolicy checks the policy seam end to end: under
 // the cost-aware policy a cheap-to-recompute payload is evicted before
 // an equally-sized expensive one, regardless of recency.
@@ -236,6 +298,68 @@ func TestCacheCostAwarePolicy(t *testing.T) {
 	}
 	if got := c.Stats().Evictions; got == 0 {
 		t.Error("no evictions recorded")
+	}
+}
+
+// phantomPolicy is a hostile stub: Victim perpetually nominates a key
+// the shard has never held. Pre-fix, the eviction loop spun forever on
+// it (removeLocked no-op'd without telling the policy, bytes never
+// shrank, the same victim came back).
+type phantomPolicy struct {
+	removed []string
+}
+
+func (p *phantomPolicy) Name() string                              { return "phantom" }
+func (p *phantomPolicy) Bind(policy.Env)                           {}
+func (p *phantomPolicy) Admit(string, policy.Meta) bool            { return true }
+func (p *phantomPolicy) OnInsert(string, policy.Meta, int64)       {}
+func (p *phantomPolicy) OnAccess(string, int64)                    {}
+func (p *phantomPolicy) OnRemove(k string)                         { p.removed = append(p.removed, k) }
+func (p *phantomPolicy) Tick(string, int64) []string               { return nil }
+func (p *phantomPolicy) Victim(func(string) bool) (string, bool)   { return "phantom", true }
+func (p *phantomPolicy) OldestUse(func(string) bool) (int64, bool) { return 0, false }
+func (p *phantomPolicy) PrefetchCandidates(cfg.BlockID, func(cfg.BlockID) bool) []cfg.BlockID {
+	return nil
+}
+func (p *phantomPolicy) ObserveEdge(cfg.BlockID, cfg.BlockID) {}
+
+// TestCacheEvictionPhantomVictimTerminates is the regression test for
+// the infinite eviction loop: a policy returning a victim absent from
+// the shard must be told to forget it (OnRemove) and the loop must
+// stop, not spin.
+func TestCacheEvictionPhantomVictimTerminates(t *testing.T) {
+	c := NewBlockCache(1, 8)
+	stub := &phantomPolicy{}
+	c.shards[0].pol = stub
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Overflow the 8-byte shard: the eviction loop runs and must
+		// terminate despite the policy never naming a real victim.
+		c.GetOrCompute("a", func() ([]byte, error) { return []byte("123456"), nil })
+		c.GetOrCompute("b", func() ([]byte, error) { return []byte("123456"), nil })
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("eviction loop hung on a phantom victim")
+	}
+	found := false
+	for _, k := range stub.removed {
+		if k == "phantom" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("policy was never told to forget the phantom victim")
+	}
+	// Both real entries must still be resident: nothing legitimate was
+	// evicted on the phantom's behalf.
+	for _, k := range []string{"a", "b"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%q evicted while evicting a phantom", k)
+		}
 	}
 }
 

@@ -7,7 +7,7 @@
 // the compressed blocks its access pattern touches, and the server's
 // job is to make that path fast at fleet scale.
 //
-// The subsystem is built from four pieces:
+// The subsystem is built from five pieces:
 //
 //   - a sharded, content-addressed block cache (cache.go). Keys are
 //     SHA-256 over codec name, serialized codec model and the plain
@@ -31,9 +31,19 @@
 //     ever served, so the whole-image checksum is verified on the
 //     serving path, not just trusted from the packer.
 //
+//   - an optional L2 disk tier (Config.StoreDir, internal/store): a
+//     content-addressed container store beneath the block cache. Built
+//     containers are persisted asynchronously; block-cache misses are
+//     first satisfied by one ReadAt through the container's v2 index
+//     (decompress + CRC verify) before falling back to re-running the
+//     compressor; and a restarted server restores previously-built
+//     (workload, codec) entries from disk without invoking the packer.
+//
 //   - a load generator (loadgen.go) that replays internal/trace access
 //     patterns as HTTP block fetches from N concurrent simulated
-//     devices, decompressing and verifying every payload it receives.
+//     devices, decompressing and verifying every payload it receives;
+//     RunColdWarm is the restart scenario quantifying what the disk
+//     tier saves.
 //
 // Endpoints:
 //

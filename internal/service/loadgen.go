@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"net"
 	"net/http"
 	"strconv"
 	"strings"
@@ -217,6 +218,79 @@ func verifyBlock(codec compress.Codec, payload []byte, hdr http.Header, want, sc
 		}
 	}
 	return plain, nil
+}
+
+// ColdWarmStats reports the two phases of a cold-start/warm-restart
+// scenario run against the same store directory.
+type ColdWarmStats struct {
+	Cold, Warm           *LoadStats
+	ColdPacks, WarmPacks int64         // containers actually built per phase
+	WarmRestores         int64         // entries restored from the store
+	ColdFirst, WarmFirst time.Duration // time to the first served container
+}
+
+// RunColdWarm is the restart scenario: phase one starts a server
+// against cfg.StoreDir (typically empty — every container is packed
+// from scratch and persisted), replays the load, and shuts the server
+// down. Phase two starts a *fresh* server on the same directory and
+// replays the same load; with a warm store it must restore containers
+// from disk without invoking the packer. The two phases' pack counts
+// and first-container latencies quantify what the disk tier buys a
+// restarted server.
+func RunColdWarm(ctx context.Context, cfg Config, lcfg LoadConfig) (*ColdWarmStats, error) {
+	if cfg.StoreDir == "" {
+		return nil, fmt.Errorf("service: cold/warm scenario requires Config.StoreDir")
+	}
+	out := &ColdWarmStats{}
+	run := func(packs *int64, first *time.Duration, restores *int64) (*LoadStats, error) {
+		srv, err := New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		defer srv.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+		go httpSrv.Serve(ln)
+		defer httpSrv.Close()
+
+		phase := lcfg
+		phase.BaseURL = "http://" + ln.Addr().String()
+		phase.Client = nil
+
+		// Time-to-first-container: what a device waits on after the
+		// server (re)starts — packer latency cold, disk restore warm.
+		wl := strings.TrimSpace(strings.Split(phase.Workload, ",")[0])
+		t0 := time.Now()
+		codec := phase.Codec
+		if codec == "" {
+			codec = "dict"
+		}
+		if _, _, err := fetch(ctx, http.DefaultClient,
+			fmt.Sprintf("%s/v1/pack/%s?codec=%s", phase.BaseURL, wl, codec)); err != nil {
+			return nil, err
+		}
+		*first = time.Since(t0)
+
+		stats, err := RunLoad(ctx, phase)
+		if err != nil {
+			return nil, err
+		}
+		*packs = srv.Metrics().Packs.Load()
+		*restores = srv.Metrics().StoreWarm.Load()
+		return stats, nil
+	}
+	var coldRestores int64
+	var err error
+	if out.Cold, err = run(&out.ColdPacks, &out.ColdFirst, &coldRestores); err != nil {
+		return nil, fmt.Errorf("cold phase: %w", err)
+	}
+	if out.Warm, err = run(&out.WarmPacks, &out.WarmFirst, &out.WarmRestores); err != nil {
+		return nil, fmt.Errorf("warm phase: %w", err)
+	}
+	return out, nil
 }
 
 // fetch GETs a URL, returning the body and headers; a non-200 status is

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"apbcc/internal/report"
+	"apbcc/internal/store"
 )
 
 // histBounds are the latency bucket upper bounds. The last bucket is
@@ -36,16 +37,27 @@ var histBounds = []time.Duration{
 const numBuckets = 15
 
 // Histogram is a fixed-bucket latency histogram safe for concurrent
-// observation.
+// observation. Observations beyond the last bound land in an overflow
+// bucket whose maximum is tracked exactly, so quantiles falling there
+// report the real worst case instead of silently clamping to 1s.
 type Histogram struct {
 	counts [numBuckets]atomic.Int64
 	sumNS  atomic.Int64
 	n      atomic.Int64
+	maxNS  atomic.Int64 // largest overflow observation
 }
 
 // Observe records one duration.
 func (h *Histogram) Observe(d time.Duration) {
 	i := sort.Search(len(histBounds), func(i int) bool { return d <= histBounds[i] })
+	if i == len(histBounds) {
+		for {
+			cur := h.maxNS.Load()
+			if int64(d) <= cur || h.maxNS.CompareAndSwap(cur, int64(d)) {
+				break
+			}
+		}
+	}
 	h.counts[i].Add(1)
 	h.sumNS.Add(int64(d))
 	h.n.Add(1)
@@ -64,8 +76,10 @@ func (h *Histogram) Mean() time.Duration {
 }
 
 // Quantile approximates the q-quantile (0 < q <= 1) as the upper bound
-// of the bucket holding the q-th observation; observations beyond the
-// last bound report the largest bound.
+// of the bucket holding the q-th observation. A quantile landing in the
+// open-ended overflow bucket reports the largest overflow observation
+// actually seen — never the last bound, which would silently understate
+// pathological tails.
 func (h *Histogram) Quantile(q float64) time.Duration {
 	n := h.n.Load()
 	if n == 0 {
@@ -82,8 +96,17 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 			if i < len(histBounds) {
 				return histBounds[i]
 			}
-			return histBounds[len(histBounds)-1]
+			return h.overflowMax()
 		}
+	}
+	return h.overflowMax()
+}
+
+// overflowMax reports the largest observation beyond the last bound,
+// falling back to the last bound if (impossibly) none was recorded.
+func (h *Histogram) overflowMax() time.Duration {
+	if max := h.maxNS.Load(); max > 0 {
+		return time.Duration(max)
 	}
 	return histBounds[len(histBounds)-1]
 }
@@ -100,6 +123,12 @@ type Metrics struct {
 	Packs     atomic.Int64 // containers built (not cached re-serves)
 	Blocks    atomic.Int64 // block fetches served
 	BytesSent atomic.Int64 // payload bytes written
+
+	// L2 disk-store tier counters (all zero when no store is configured).
+	StoreWarm     atomic.Int64 // entries restored from the store without packing
+	StorePersists atomic.Int64 // containers persisted to the store
+	StoreL2Hits   atomic.Int64 // L1 block misses satisfied by an index read
+	StoreL2Misses atomic.Int64 // L1 block misses that fell back to a full rebuild
 
 	mu       sync.Mutex
 	perCodec map[string]*Histogram
@@ -135,10 +164,12 @@ func (m *Metrics) codecNames() []string {
 	return names
 }
 
-// WriteTables renders the metrics through internal/report. csv selects
-// the CSV dialect (one table after another, separated by blank lines);
-// otherwise aligned text tables are written.
-func (m *Metrics) WriteTables(w io.Writer, cache CacheStats, pool PoolStats, csv bool) error {
+// WriteTables renders the metrics through internal/report. st carries
+// the disk-store census (nil when no store is configured; the store
+// table is omitted). csv selects the CSV dialect (one table after
+// another, separated by blank lines); otherwise aligned text tables
+// are written.
+func (m *Metrics) WriteTables(w io.Writer, cache CacheStats, pool PoolStats, st *store.Stats, csv bool) error {
 	svc := report.NewTable("service", "metric", "value")
 	svc.AddRow("uptime_seconds", fmt.Sprintf("%.1f", time.Since(m.start).Seconds()))
 	svc.AddRow("requests_total", m.Requests.Load())
@@ -172,7 +203,22 @@ func (m *Metrics) WriteTables(w io.Writer, cache CacheStats, pool PoolStats, csv
 			h.Quantile(0.50).String(), h.Quantile(0.90).String(), h.Quantile(0.99).String())
 	}
 
-	for _, t := range []*report.Table{svc, ct, pt, lt} {
+	tables := []*report.Table{svc, ct, pt, lt}
+	if st != nil {
+		dt := report.NewTable("disk store", "metric", "value")
+		dt.AddRow("objects", st.Objects)
+		dt.AddRow("refs", st.Refs)
+		dt.AddRow("warm_restores", m.StoreWarm.Load())
+		dt.AddRow("containers_persisted", m.StorePersists.Load())
+		dt.AddRow("l2_block_hits", m.StoreL2Hits.Load())
+		dt.AddRow("l2_block_misses", m.StoreL2Misses.Load())
+		dt.AddRow("block_reads", st.BlockReads)
+		dt.AddRow("block_read_bytes", st.BlockBytes)
+		dt.AddRow("put_bytes", st.PutBytes)
+		dt.AddRow("quarantined", st.Quarantined)
+		tables = append(tables, dt)
+	}
+	for _, t := range tables {
 		if csv {
 			if _, err := io.WriteString(w, t.CSV()); err != nil {
 				return err

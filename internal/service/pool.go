@@ -83,8 +83,13 @@ func NewPool(workers, queueDepth, maxBatch int) *Pool {
 
 // Do submits fn and waits for it to finish, returning its error. If ctx
 // is done before a worker runs the job, Do returns ctx.Err() and fn
-// never runs: a worker reaching an abandoned job discards it.
+// never runs: a worker reaching an abandoned job discards it. A nil ctx
+// is treated as context.Background, matching what run already
+// tolerates.
 func (p *Pool) Do(ctx context.Context, fn func() error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	j := poolJob{ctx: ctx, fn: fn, done: make(chan error, 1)}
 	p.mu.Lock()
 	if p.closed {

@@ -143,3 +143,18 @@ func TestPoolClose(t *testing.T) {
 		t.Fatalf("ran = %d, want 10", ran.Load())
 	}
 }
+
+// TestPoolNilContext is the regression test for Do panicking on a nil
+// context (ctx.Done() on the select path) even though run explicitly
+// tolerated one: nil must behave as context.Background.
+func TestPoolNilContext(t *testing.T) {
+	p := NewPool(1, 4, 2)
+	defer p.Close()
+	ran := false
+	if err := p.Do(nil, func() error { ran = true; return nil }); err != nil { //nolint:staticcheck // nil ctx is the point
+		t.Fatalf("Do(nil, ...) = %v", err)
+	}
+	if !ran {
+		t.Fatal("job never ran")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"apbcc/internal/compress"
@@ -19,6 +20,7 @@ import (
 	"apbcc/internal/pack"
 	"apbcc/internal/program"
 	"apbcc/internal/report"
+	"apbcc/internal/store"
 	"apbcc/internal/workloads"
 )
 
@@ -52,6 +54,12 @@ type Config struct {
 	// "cost-aware" keeps blocks that are expensive to recompress
 	// resident longer (GreedyDual-Size over the codec cost model).
 	Policy string
+	// StoreDir, when non-empty, roots the content-addressed disk store:
+	// built containers are persisted there asynchronously, block misses
+	// try an index read from disk before rebuilding, and a restart
+	// against a warm store serves previously-built containers without
+	// re-packing.
+	StoreDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -74,15 +82,20 @@ func (c Config) withDefaults() Config {
 }
 
 // Server is the pack-serving subsystem: container and block endpoints
-// in front of the sharded block cache and the batching worker pool.
+// in front of the sharded L1 block cache, the batching worker pool,
+// and (when configured) the content-addressed L2 disk store.
 type Server struct {
 	cache   *BlockCache
 	pool    *Pool
 	metrics *Metrics
+	store   *store.Store // nil when no StoreDir was configured
 	handler http.Handler
 
 	mu      sync.Mutex
 	entries map[string]*entry
+	closing bool // no new persists may start once set
+
+	persistWG sync.WaitGroup // in-flight async store persists
 
 	workloadsOnce  sync.Once
 	workloadsTable string
@@ -101,12 +114,19 @@ type entry struct {
 	crcs      []uint32   // per-block IEEE CRC-32 of plain
 	keys      []string   // per-block content addresses, precomputed
 	hist      *Histogram // latency histogram for this entry's codec
+
+	// obj is the entry's open store object, the L2 tier block misses
+	// read through. Set asynchronously after a cold build persists (or
+	// immediately on a warm restore); nil when no store is configured
+	// or the object went corrupt and was detached.
+	obj atomic.Pointer[store.Object]
 }
 
 // New builds a Server. Call Close when done to stop the worker pool.
 // An unknown Config.Policy falls back to the LRU default (use
-// policy.Names to validate user input first).
-func New(cfg Config) *Server {
+// policy.Names to validate user input first). The only error source is
+// opening Config.StoreDir.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	cache, err := NewBlockCachePolicy(cfg.CacheShards, cfg.CacheBytes/cfg.CacheShards, cfg.Policy)
 	if err != nil {
@@ -118,6 +138,14 @@ func New(cfg Config) *Server {
 		metrics: NewMetrics(),
 		entries: make(map[string]*entry),
 	}
+	if cfg.StoreDir != "" {
+		st, err := store.Open(cfg.StoreDir)
+		if err != nil {
+			s.pool.Close()
+			return nil, err
+		}
+		s.store = st
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -127,14 +155,35 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/pack", s.handlePackAsm)
 	mux.HandleFunc("GET /v1/block/{workload}/{id}", s.handleBlock)
 	s.handler = s.instrument(mux)
-	return s
+	return s, nil
 }
 
 // Handler returns the instrumented HTTP handler.
 func (s *Server) Handler() http.Handler { return s.handler }
 
-// Close stops the worker pool, draining queued jobs.
-func (s *Server) Close() { s.pool.Close() }
+// Close waits for in-flight store persists, stops the worker pool
+// (draining queued jobs), and releases open store objects.
+func (s *Server) Close() {
+	// Flip closing under the same lock persistAsync uses for Add, so no
+	// Add can race the Wait below on a drained counter (sync.WaitGroup
+	// forbids Add concurrent with Wait at zero).
+	s.mu.Lock()
+	s.closing = true
+	s.mu.Unlock()
+	s.persistWG.Wait()
+	s.pool.Close()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, ent := range s.entries {
+		if obj := ent.obj.Swap(nil); obj != nil {
+			obj.Close()
+		}
+	}
+}
+
+// Store exposes the disk store (nil when not configured); tests and
+// operational tooling inspect it directly.
+func (s *Server) Store() *store.Store { return s.store }
 
 // Metrics exposes the server's counters (for in-process inspection and
 // tests).
@@ -187,7 +236,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	} else {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	}
-	s.metrics.WriteTables(w, s.cache.Stats(), s.pool.Stats(), csv)
+	var st *store.Stats
+	if s.store != nil {
+		ss := s.store.Stats()
+		st = &ss
+	}
+	s.metrics.WriteTables(w, s.cache.Stats(), s.pool.Stats(), st, csv)
 }
 
 func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
@@ -286,8 +340,15 @@ func (s *Server) handleBlock(w http.ResponseWriter, r *http.Request) {
 	// the server; cost-aware replacement weighs it against the bytes.
 	missCost := ent.codec.Cost().CompressCycles(len(plain))
 	payload, hit, err := s.cache.GetOrComputeCost(ent.keys[id], func() ([]byte, int64, error) {
-		// Detach from the request context: coalesced waiters depend on
-		// this compute, so the leader disconnecting must not fail it.
+		// L2 first: one ReadAt through the container index plus a
+		// decompress-verify is far cheaper than re-running the
+		// compressor on the plain image.
+		if comp, ok := s.blockFromStore(ent, id); ok {
+			return comp, missCost, nil
+		}
+		// Full rebuild. Detach from the request context: coalesced
+		// waiters depend on this compute, so the leader disconnecting
+		// must not fail it.
 		ctx := context.WithoutCancel(r.Context())
 		var comp []byte
 		err := s.pool.Do(ctx, func() error {
@@ -325,6 +386,37 @@ func (s *Server) handleBlock(w http.ResponseWriter, r *http.Request) {
 	w.Write(payload)
 }
 
+// blockFromStore is the L2 tier: read block id's compressed payload
+// from the entry's open store object via the container index,
+// decompress-verify it against the index CRC, and cross-check the
+// plain image CRC the entry advertises to clients. A verification
+// failure quarantines the object and detaches it so the path degrades
+// to full rebuilds instead of retrying corrupt disk forever.
+func (s *Server) blockFromStore(ent *entry, id int) ([]byte, bool) {
+	obj := ent.obj.Load()
+	if obj == nil {
+		if s.store != nil {
+			s.metrics.StoreL2Misses.Add(1)
+		}
+		return nil, false
+	}
+	scratch := compress.GetBuf(len(ent.plain[id]))
+	defer func() { compress.PutBuf(scratch) }()
+	// attachObject proved the object's index CRCs equal ent.crcs, so
+	// the index verify below is also the entry-level integrity check.
+	comp, _, err := obj.VerifiedBlock(ent.codec, id, scratch[:0])
+	if err != nil {
+		if ent.obj.CompareAndSwap(obj, nil) {
+			s.store.Quarantine(obj.Key())
+			obj.Close()
+		}
+		s.metrics.StoreL2Misses.Add(1)
+		return nil, false
+	}
+	s.metrics.StoreL2Hits.Add(1)
+	return comp, true
+}
+
 // codecParam extracts the codec query parameter, defaulting to dict.
 func codecParam(r *http.Request) string {
 	if c := r.URL.Query().Get("codec"); c != "" {
@@ -346,7 +438,7 @@ func checkCodec(name string) error {
 // building it exactly once. The returned status is an HTTP status for
 // err.
 func (s *Server) entryFor(ctx context.Context, workload, codecName string) (*entry, int, error) {
-	key := workload + "\x00" + codecName
+	key := store.RefName(workload, codecName)
 	s.mu.Lock()
 	ent, ok := s.entries[key]
 	if !ok {
@@ -390,11 +482,14 @@ func statusFor(err error) int {
 	}
 }
 
-// build packs the workload under the codec and verifies the container
-// by fully unpacking it — the served artifact has passed the image
-// checksum, not just the packer's intent. The entry then serves blocks
-// from the *reconstructed* program, so what devices fetch is exactly
-// what survives verification.
+// build materializes the entry for (workload, codec): from the warm
+// disk store when a previously-built container is available, otherwise
+// by packing the workload and verifying the container by fully
+// unpacking it — the served artifact has passed the image checksum,
+// not just the packer's intent. The entry then serves blocks from the
+// *reconstructed* program, so what devices fetch is exactly what
+// survives verification. Freshly-built containers are persisted to the
+// store asynchronously through the worker pool.
 func (s *Server) build(ent *entry, workload, codecName string) error {
 	wl, err := workloads.ByName(workload)
 	if err != nil {
@@ -403,6 +498,9 @@ func (s *Server) build(ent *entry, workload, codecName string) error {
 	// Reject bad codec names before they occupy a pool slot.
 	if err := checkCodec(codecName); err != nil {
 		return err
+	}
+	if s.store != nil && s.restoreFromStore(ent, workload, codecName) {
+		return nil
 	}
 	var (
 		container []byte
@@ -417,6 +515,68 @@ func (s *Server) build(ent *entry, workload, codecName string) error {
 	if err != nil {
 		return err
 	}
+	if err := s.finishEntry(ent, container, p, codec); err != nil {
+		return err
+	}
+	s.metrics.Packs.Add(1)
+	if s.store != nil {
+		s.persistAsync(ent, store.RefName(workload, codecName), container)
+	}
+	return nil
+}
+
+// restoreFromStore is the warm-restart path: resolve the (workload,
+// codec) ref, read and hash-verify the container, and Unpack it (the
+// full image-checksum verification pass) — no packer involved. Any
+// corruption quarantines the object and falls back to a cold build.
+func (s *Server) restoreFromStore(ent *entry, workload, codecName string) bool {
+	key, ok := s.store.Ref(store.RefName(workload, codecName))
+	if !ok {
+		return false
+	}
+	container, err := s.store.Get(key) // corrupt entries self-quarantine here
+	if err != nil {
+		return false
+	}
+	p, codec, _, err := pack.Unpack(workload, container)
+	if err != nil {
+		s.store.Quarantine(key)
+		return false
+	}
+	if err := s.finishEntry(ent, container, p, codec); err != nil {
+		return false
+	}
+	if obj, err := s.store.Open(key); err == nil {
+		s.attachObject(ent, obj)
+	}
+	s.metrics.StoreWarm.Add(1)
+	return true
+}
+
+// attachObject binds an open store object to its entry after proving
+// the object's index carries exactly the per-block plain CRCs the
+// entry advertises to clients. Checking once here means L2 reads need
+// only the index CRC verify, not a second checksum pass per block; a
+// mismatched object is corrupt-or-wrong and gets quarantined.
+func (s *Server) attachObject(ent *entry, obj *store.Object) {
+	idx := obj.Index()
+	ok := len(idx.Blocks) == len(ent.crcs)
+	for i := 0; ok && i < len(ent.crcs); i++ {
+		ok = idx.Blocks[i].CRC == ent.crcs[i]
+	}
+	if !ok {
+		s.store.Quarantine(obj.Key())
+		obj.Close()
+		return
+	}
+	if !ent.obj.CompareAndSwap(nil, obj) {
+		obj.Close() // someone else attached first
+	}
+}
+
+// finishEntry fills the entry's serving state from a verified
+// (container, reconstructed program, codec) triple.
+func (s *Server) finishEntry(ent *entry, container []byte, p *program.Program, codec compress.Codec) error {
 	plain, err := p.AllBlockBytes()
 	if err != nil {
 		return err
@@ -426,7 +586,6 @@ func (s *Server) build(ent *entry, workload, codecName string) error {
 	for i, b := range plain {
 		crcs[i] = crc32.ChecksumIEEE(b)
 	}
-	s.metrics.Packs.Add(1)
 	ent.container = container
 	ent.codec = codec
 	ent.plain = plain
@@ -436,6 +595,42 @@ func (s *Server) build(ent *entry, workload, codecName string) error {
 	// metrics mutex.
 	ent.hist = s.metrics.CodecHist(codec.Name())
 	return nil
+}
+
+// persistAsync writes a freshly-built container to the disk store
+// through the worker pool, without blocking the requester that
+// triggered the build. Once the object and its ref land, the entry is
+// handed the open object so later block misses can read through it.
+// Persistence is best-effort: a failure leaves the server serving from
+// memory exactly as if no store were configured.
+func (s *Server) persistAsync(ent *entry, name string, container []byte) {
+	s.mu.Lock()
+	if s.closing {
+		// Shutting down: the pool is (about to be) closed and Close may
+		// already be waiting on persistWG — starting a persist now would
+		// both race the WaitGroup and submit to a dead pool.
+		s.mu.Unlock()
+		return
+	}
+	s.persistWG.Add(1)
+	s.mu.Unlock()
+	go func() {
+		defer s.persistWG.Done()
+		_ = s.pool.Do(context.Background(), func() error {
+			key, err := s.store.Put(container)
+			if err != nil {
+				return err
+			}
+			if err := s.store.PutRef(name, key); err != nil {
+				return err
+			}
+			if obj, err := s.store.Open(key); err == nil {
+				s.attachObject(ent, obj)
+			}
+			s.metrics.StorePersists.Add(1)
+			return nil
+		})
+	}()
 }
 
 // buildContainer trains the codec on the program's code and packs it,

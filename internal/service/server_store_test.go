@@ -1,0 +1,183 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"apbcc/internal/pack"
+	"apbcc/internal/store"
+)
+
+// storeConfig is the test config with the disk tier enabled.
+func storeConfig(dir string) Config {
+	return Config{CacheShards: 4, CacheBytes: 8 << 20, Workers: 2, QueueDepth: 32, MaxBatch: 4, StoreDir: dir}
+}
+
+// TestWarmRestartServesWithoutPacking is the acceptance pin for the
+// disk tier: a restarted server against a warm store must serve a
+// previously-built (workload, codec) container without invoking the
+// packer, byte-identical to the original, and satisfy block misses
+// through the container index.
+func TestWarmRestartServesWithoutPacking(t *testing.T) {
+	dir := t.TempDir()
+
+	// Cold server: builds, serves, and (asynchronously) persists.
+	s1, ts1 := newTestServerConfig(t, storeConfig(dir))
+	code, cold, _ := get(t, ts1.Client(), ts1.URL+"/v1/pack/fft?codec=dict")
+	if code != http.StatusOK {
+		t.Fatalf("cold pack: status %d", code)
+	}
+	if got := s1.Metrics().Packs.Load(); got != 1 {
+		t.Fatalf("cold packs = %d, want 1", got)
+	}
+	ts1.Close()
+	s1.Close() // waits for the async persist to land
+
+	if st := s1.Store().Stats(); st.Objects != 1 || st.Refs != 1 {
+		t.Fatalf("store after cold run = %+v, want 1 object / 1 ref", st)
+	}
+
+	// Warm server on the same directory.
+	s2, ts2 := newTestServerConfig(t, storeConfig(dir))
+	code, warm, _ := get(t, ts2.Client(), ts2.URL+"/v1/pack/fft?codec=dict")
+	if code != http.StatusOK {
+		t.Fatalf("warm pack: status %d", code)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Fatal("warm container differs from the cold build")
+	}
+	if got := s2.Metrics().Packs.Load(); got != 0 {
+		t.Fatalf("warm restart invoked the packer %d times", got)
+	}
+	if got := s2.Metrics().StoreWarm.Load(); got != 1 {
+		t.Fatalf("warm restores = %d, want 1", got)
+	}
+
+	// Every block the warm server hands out must be byte- and
+	// CRC-identical to the same block from a full client-side Unpack —
+	// and the first fetch of each is an L1 miss satisfied by the index.
+	prog, codec, _, err := pack.Unpack("fft", warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := prog.AllBlockBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := range want {
+		code, payload, hdr := get(t, ts2.Client(), fmt.Sprintf("%s/v1/block/fft/%d?codec=dict", ts2.URL, id))
+		if code != http.StatusOK {
+			t.Fatalf("block %d: status %d", id, code)
+		}
+		if _, err := verifyBlock(codec, payload, hdr, want[id], nil); err != nil {
+			t.Fatalf("block %d: %v", id, err)
+		}
+	}
+	if got := s2.Metrics().StoreL2Hits.Load(); got != int64(len(want)) {
+		t.Fatalf("L2 hits = %d, want %d (one per first fetch)", got, len(want))
+	}
+	if got := s2.Metrics().StoreL2Misses.Load(); got != 0 {
+		t.Fatalf("L2 misses = %d, want 0", got)
+	}
+
+	// /metrics must surface the store tier.
+	m := metricsCSV(t, ts2.Client(), ts2.URL)
+	for _, key := range []string{"warm_restores", "l2_block_hits", "block_read_bytes"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("metrics missing store counter %q", key)
+		}
+	}
+	if m["warm_restores"] != "1" {
+		t.Errorf("warm_restores = %q, want 1", m["warm_restores"])
+	}
+}
+
+// TestStoreCorruptionFallsBackToRebuild: when the on-disk object rots
+// under a live server, the L2 read must detect it (index CRC),
+// quarantine the object, and fall back to a full rebuild — the client
+// still gets a correct block.
+func TestStoreCorruptionFallsBackToRebuild(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newTestServerConfig(t, storeConfig(dir))
+
+	code, container, _ := get(t, ts.Client(), ts.URL+"/v1/pack/crc32?codec=dict")
+	if code != http.StatusOK {
+		t.Fatalf("pack: status %d", code)
+	}
+	// Wait for the async persist, then corrupt the object in place.
+	s.persistWG.Wait()
+	key, ok := s.Store().Ref(store.RefName("crc32", "dict"))
+	if !ok {
+		t.Fatal("no ref after persist")
+	}
+	path := filepath.Join(dir, "objects", key[:2], key)
+	mut := bytes.Clone(container)
+	mut[len(mut)-1] ^= 0xff // payload section: caught by the per-block CRC
+	if err := os.WriteFile(path, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	prog, codec, _, err := pack.Unpack("crc32", container)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := prog.AllBlockBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fetch every block: at least one L2 read hits the flipped byte,
+	// quarantines the object, and rebuilds; every response stays
+	// correct.
+	for id := range want {
+		code, payload, hdr := get(t, ts.Client(), fmt.Sprintf("%s/v1/block/crc32/%d?codec=dict", ts.URL, id))
+		if code != http.StatusOK {
+			t.Fatalf("block %d: status %d", id, code)
+		}
+		if _, err := verifyBlock(codec, payload, hdr, want[id], nil); err != nil {
+			t.Fatalf("block %d served corrupt data: %v", id, err)
+		}
+	}
+	if got := s.Metrics().StoreL2Misses.Load(); got == 0 {
+		t.Fatal("corrupt store object never fell back to rebuild")
+	}
+	if st := s.Store().Stats(); st.Quarantined != 1 {
+		t.Fatalf("quarantined = %d, want 1", st.Quarantined)
+	}
+}
+
+// TestRunColdWarmScenario drives the loadgen restart scenario end to
+// end: the warm phase must not pack and must see zero errors.
+func TestRunColdWarmScenario(t *testing.T) {
+	cfg := storeConfig(t.TempDir())
+	stats, err := RunColdWarm(context.Background(), cfg, LoadConfig{
+		Workload: "fft,crc32",
+		Codec:    "dict",
+		Clients:  4,
+		Steps:    30,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ColdPacks == 0 {
+		t.Error("cold phase packed nothing")
+	}
+	if stats.WarmPacks != 0 {
+		t.Errorf("warm phase packed %d containers, want 0", stats.WarmPacks)
+	}
+	if stats.WarmRestores == 0 {
+		t.Error("warm phase restored nothing from the store")
+	}
+	if stats.Cold.Errors != 0 || stats.Warm.Errors != 0 {
+		t.Errorf("errors: cold=%d warm=%d (first: %v, %v)",
+			stats.Cold.Errors, stats.Warm.Errors, stats.Cold.FirstError, stats.Warm.FirstError)
+	}
+	if stats.ColdFirst <= 0 || stats.WarmFirst <= 0 {
+		t.Errorf("first-container latencies not measured: %v, %v", stats.ColdFirst, stats.WarmFirst)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"apbcc/internal/pack"
 	"apbcc/internal/workloads"
@@ -17,7 +18,15 @@ import (
 
 func newTestServer(t *testing.T) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(Config{CacheShards: 8, CacheBytes: 8 << 20, Workers: 4, QueueDepth: 64, MaxBatch: 4})
+	return newTestServerConfig(t, Config{CacheShards: 8, CacheBytes: 8 << 20, Workers: 4, QueueDepth: 64, MaxBatch: 4})
+}
+
+func newTestServerConfig(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() { ts.Close(); s.Close() })
 	return s, ts
@@ -348,8 +357,12 @@ func TestHistogramQuantiles(t *testing.T) {
 	if got := h.Quantile(0.5); got != histBounds[0] {
 		t.Errorf("p50 = %v, want %v", got, histBounds[0])
 	}
-	if got := h.Quantile(0.99); got != histBounds[len(histBounds)-1] {
-		t.Errorf("p99 = %v, want %v", got, histBounds[len(histBounds)-1])
+	// A quantile landing in the overflow bucket must report the largest
+	// overflow observation actually seen — clamping to the last bound
+	// (1s) would silently understate a 3s tail.
+	slow := histBounds[len(histBounds)-1] * 3
+	if got := h.Quantile(0.99); got != slow {
+		t.Errorf("p99 = %v, want overflow max %v", got, slow)
 	}
 	if h.Count() != 100 {
 		t.Errorf("count = %d", h.Count())
@@ -361,9 +374,14 @@ func TestHistogramQuantiles(t *testing.T) {
 	for i := 0; i < 9; i++ {
 		h2.Observe(histBounds[0] / 2)
 	}
-	h2.Observe(histBounds[len(histBounds)-1] * 3)
-	if got := h2.Quantile(0.99); got != histBounds[len(histBounds)-1] {
-		t.Errorf("small-n p99 = %v, want %v", got, histBounds[len(histBounds)-1])
+	h2.Observe(slow)
+	if got := h2.Quantile(0.99); got != slow {
+		t.Errorf("small-n p99 = %v, want overflow max %v", got, slow)
+	}
+	// The overflow max tracks the largest observation, not the latest.
+	h2.Observe(2 * time.Second)
+	if got := h2.Quantile(0.999); got != slow {
+		t.Errorf("p99.9 after smaller overflow = %v, want %v", got, slow)
 	}
 }
 
