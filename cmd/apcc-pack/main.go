@@ -5,7 +5,7 @@
 //
 //	apcc-pack -workload fft -o fft.apcc            # pack a suite workload
 //	apcc-pack -asm prog.s -codec lzss -o prog.apcc # pack assembled source
-//	apcc-pack -workload fft -parallel 0 -o f.apcc  # parallel build (0 = all cores)
+//	apcc-pack -workload fft -parallel 0 -o f.apcc  # parallel build (0 = auto)
 //	apcc-pack -info fft.apcc                       # inspect a container
 //	apcc-pack -verify fft.apcc                     # unpack + validate
 //
@@ -34,7 +34,7 @@ func main() {
 		out       = flag.String("o", "", "output container path")
 		info      = flag.String("info", "", "container to summarize")
 		verify    = flag.String("verify", "", "container to unpack and validate")
-		parallel  = flag.Int("parallel", 1, "block-compression workers (0 = GOMAXPROCS)")
+		parallel  = flag.Int("parallel", 1, "block-compression workers (0 = auto: all cores, small builds stay serial)")
 		storeDir  = flag.String("store", "", "also persist the container to this content-addressed store\n(same layout apcc-serve -store consumes for warm restarts)")
 	)
 	flag.Parse()

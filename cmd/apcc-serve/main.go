@@ -41,6 +41,7 @@ func main() {
 		batch    = flag.Int("batch", 8, "worker pool max batch per wakeup")
 		polName  = flag.String("policy", "klru", "block-cache replacement policy: "+strings.Join(policy.Names(), " | "))
 		storeDir = flag.String("store", "", "content-addressed disk store directory (L2 tier + warm restarts)")
+		rahead   = flag.Int("readahead", 0, "predicted successor blocks fetched per L2 read and admitted to L1\n(0 = default of 2, negative disables; needs -store)")
 
 		loadgen  = flag.Bool("loadgen", false, "run the load generator instead of serving")
 		coldwarm = flag.Bool("coldwarm", false, "loadgen: run the cold-start/warm-restart scenario (requires -store)")
@@ -64,6 +65,7 @@ func main() {
 		MaxBatch:    *batch,
 		Policy:      *polName,
 		StoreDir:    *storeDir,
+		ReadaheadK:  *rahead,
 	}
 
 	if *coldwarm {

@@ -1,0 +1,122 @@
+// benchdiff compares two `go test -bench` outputs (a base run and a
+// head run) benchstat-style and fails on regressions: CI runs the
+// tracked decode benchmarks on the PR base and head, feeds both
+// captures here, and uploads the rendered delta as an artifact. A
+// benchmark is judged on its ns/op; rows present in only one capture
+// are reported but never fail the build (new benchmarks land with
+// their first numbers, retired ones drop out).
+//
+// Usage:
+//
+//	benchdiff [-max-regress 10] [-min-ns 1000] base.txt head.txt
+//
+// Exit status 1 means at least one benchmark common to both captures
+// slowed down by more than -max-regress percent (after the -min-ns
+// noise floor).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// benchLine matches one result row of `go test -bench` output, e.g.
+//
+//	BenchmarkDecode/dict/512-8   300  2291 ns/op  894.02 MB/s  0 B/op  0 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseBench extracts name -> ns/op from a bench capture. Repeated
+// rows (from -count) keep the minimum: on shared CI runners the
+// fastest of N runs is the least noise-contaminated estimate, so
+// min-vs-min comparisons flap far less than single samples or means.
+func parseBench(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		if cur, ok := out[m[1]]; !ok || ns < cur {
+			out[m[1]] = ns
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func main() {
+	maxRegress := flag.Float64("max-regress", 10, "fail when a common benchmark's ns/op grows by more than this percent")
+	minNS := flag.Float64("min-ns", 1000, "ignore regressions where both sides are below this many ns/op (noise floor)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-max-regress PCT] [-min-ns NS] base.txt head.txt")
+		os.Exit(2)
+	}
+	base, err := parseBench(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	head, err := parseBench(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(base)+len(head))
+	seen := make(map[string]bool)
+	for n := range base {
+		names = append(names, n)
+		seen[n] = true
+	}
+	for n := range head {
+		if !seen[n] {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	failed := false
+	fmt.Printf("%-55s %14s %14s %9s\n", "benchmark", "base ns/op", "head ns/op", "delta")
+	for _, n := range names {
+		b, inBase := base[n]
+		h, inHead := head[n]
+		switch {
+		case !inBase:
+			fmt.Printf("%-55s %14s %14.1f %9s\n", n, "-", h, "new")
+		case !inHead:
+			fmt.Printf("%-55s %14.1f %14s %9s\n", n, b, "-", "gone")
+		default:
+			delta := (h - b) / b * 100
+			mark := ""
+			if delta > *maxRegress && (b >= *minNS || h >= *minNS) {
+				mark = "  << REGRESSION"
+				failed = true
+			}
+			fmt.Printf("%-55s %14.1f %14.1f %+8.1f%%%s\n", n, b, h, delta, mark)
+		}
+	}
+	if failed {
+		fmt.Printf("\nFAIL: at least one tracked benchmark regressed more than %.1f%%\n", *maxRegress)
+		os.Exit(1)
+	}
+	fmt.Println("\nOK: no tracked benchmark regressed beyond the threshold")
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeCapture(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseBench(t *testing.T) {
+	path := writeCapture(t, "b.txt", `
+goos: linux
+BenchmarkDecode/dict/512-8   	     300	      2291 ns/op	 894.02 MB/s	       0 B/op	       0 allocs/op
+BenchmarkDecode/dict/512-8   	     300	      2309 ns/op	 890.00 MB/s	       0 B/op	       0 allocs/op
+BenchmarkUnpack              	      20	     47952 ns/op	  19.10 MB/s
+PASS
+ok  	apbcc/internal/compress	0.1s
+`)
+	got, err := parseBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %v", len(got), got)
+	}
+	if got["BenchmarkDecode/dict/512"] != 2291 {
+		t.Errorf("min ns/op = %v, want 2291 (min of repeated rows)", got["BenchmarkDecode/dict/512"])
+	}
+	if got["BenchmarkUnpack"] != 47952 {
+		t.Errorf("BenchmarkUnpack = %v", got["BenchmarkUnpack"])
+	}
+}
+
+func TestParseBenchStripsGomaxprocsSuffix(t *testing.T) {
+	path := writeCapture(t, "b.txt", "BenchmarkX-16   	 100	 5000 ns/op\n")
+	got, err := parseBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got["BenchmarkX"]; !ok {
+		t.Fatalf("suffix not stripped: %v", got)
+	}
+}

@@ -36,7 +36,9 @@
 // Commands: cmd/apcc (single run), cmd/apcc-sweep (regenerate all
 // experiment tables), cmd/apcc-pack (build/inspect containers),
 // cmd/apcc-serve (serve containers and blocks over HTTP; -loadgen
-// replays access patterns against it), cmd/cfgdump, cmd/asmtool.
+// replays access patterns against it), cmd/benchdiff (benchstat-style
+// old-vs-new comparison of tracked benchmark captures, the CI
+// regression gate), cmd/cfgdump, cmd/asmtool.
 // Runnable examples are under examples/. See README.md, DESIGN.md and
 // EXPERIMENTS.md.
 package apbcc

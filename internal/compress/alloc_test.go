@@ -48,6 +48,33 @@ func TestAppendPathsAllocFree(t *testing.T) {
 	}
 }
 
+// TestDecompressAppendZeroAlloc pins the decode fast path at exactly
+// zero allocations per op: decode tables are built once at codec
+// construction (no per-call warm-up state, unlike the compressors'
+// pooled matchers), so with a pre-sized dst a steady-state decode must
+// never touch the allocator.
+func TestDecompressAppendZeroAlloc(t *testing.T) {
+	in := trainImage(t, 2048)
+	for _, c := range allCodecs(t) {
+		c := c
+		t.Run(c.Name(), func(t *testing.T) {
+			comp, err := c.CompressAppend(nil, in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plain := make([]byte, 0, len(in))
+			if allocs := testing.AllocsPerRun(200, func() {
+				plain, err = c.DecompressAppend(plain[:0], comp)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}); allocs != 0 {
+				t.Errorf("DecompressAppend allocs/op = %.1f, want 0", allocs)
+			}
+		})
+	}
+}
+
 // TestMaxCompressedLenBounds verifies that CompressAppend never appends
 // more than MaxCompressedLen promises, across adversarial shapes
 // (incompressible randomish data, all escape bytes, word-aligned and

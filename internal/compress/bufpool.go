@@ -88,6 +88,19 @@ func growCap(b []byte, n int) []byte {
 	return grown
 }
 
+// extendLen returns b lengthened by n bytes, growing capacity with
+// append's amortized doubling (growCap grows exactly, which would turn
+// a decode loop with incremental growth quadratic). The new bytes are
+// uninitialized garbage; callers must overwrite all of them before
+// letting the slice escape.
+func extendLen(b []byte, n int) []byte {
+	l := len(b)
+	for cap(b)-l < n {
+		b = append(b[:cap(b)], 0)
+	}
+	return b[:l+n]
+}
+
 // clampGrow converts a length-header claim into a safe pre-allocation
 // size: at most bound, the largest output the input stream could
 // actually encode. Corrupt headers then cost at most one bounded

@@ -1,0 +1,68 @@
+package compress
+
+import (
+	"fmt"
+	"testing"
+)
+
+// decodeBenchSizes are the block images the decode benchmarks run
+// over: a typical basic-block unit and a production-sized block like
+// the ones the serving tier moves through its L2 tier.
+var decodeBenchSizes = []int{512, 16384}
+
+// BenchmarkDecode is the decompress-only half of the tracked set: one
+// DecompressAppend per op through a reused dst, per codec and block
+// size. MB/s is uncompressed output per second — the number that sits
+// on the paper's instruction-fetch critical path.
+func BenchmarkDecode(b *testing.B) {
+	for _, c := range allCodecs(b) {
+		for _, size := range decodeBenchSizes {
+			c, size := c, size
+			b.Run(fmt.Sprintf("%s/%d", c.Name(), size), func(b *testing.B) {
+				in := trainImage(b, size)
+				comp, err := c.CompressAppend(nil, in)
+				if err != nil {
+					b.Fatal(err)
+				}
+				plain := make([]byte, 0, len(in))
+				b.SetBytes(int64(len(in)))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					plain, err = c.DecompressAppend(plain[:0], comp)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkDecodeRef runs the retired reference decoders on the same
+// inputs, so every BENCH snapshot carries the table-driven speedup as
+// a same-host ratio (BenchmarkDecode vs BenchmarkDecodeRef).
+func BenchmarkDecodeRef(b *testing.B) {
+	for _, c := range allCodecs(b) {
+		for _, size := range decodeBenchSizes {
+			c, size := c, size
+			b.Run(fmt.Sprintf("%s/%d", c.Name(), size), func(b *testing.B) {
+				in := trainImage(b, size)
+				comp, err := c.CompressAppend(nil, in)
+				if err != nil {
+					b.Fatal(err)
+				}
+				plain := make([]byte, 0, len(in))
+				b.SetBytes(int64(len(in)))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					plain, err = refDecompressAppend(b, c, plain[:0], comp)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

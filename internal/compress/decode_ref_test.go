@@ -1,0 +1,182 @@
+package compress
+
+// Reference decoders: the pre-table-driven implementations, kept
+// verbatim as the behavioral oracle for the fast decode path. Every
+// fast decoder must match its reference bit for bit on valid input and
+// agree on accept/reject for hostile input — FuzzDecodeEquivalence and
+// TestDecodeEquivalenceGolden enforce exactly that. They live in a test
+// file so the shipped binary carries only the fast path.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"testing"
+
+	"apbcc/internal/isa"
+)
+
+// refDecompressAppend routes to the reference decoder for c.
+func refDecompressAppend(t testing.TB, c Codec, dst, src []byte) ([]byte, error) {
+	t.Helper()
+	switch c := c.(type) {
+	case *huffman:
+		return refHuffmanDecompress(c, dst, src)
+	case lzss:
+		return refLZSSDecompress(dst, src)
+	case *dict:
+		return refDictDecompress(c, dst, src)
+	case rle:
+		return refRLEDecompress(dst, src)
+	case identity:
+		return append(dst, src...), nil
+	}
+	t.Fatalf("no reference decoder for %s", c.Name())
+	return nil, nil
+}
+
+// refHuffmanDecompress is the retired bit-serial tree walk.
+func refHuffmanDecompress(h *huffman, dst, src []byte) ([]byte, error) {
+	n, hdr := binary.Uvarint(src)
+	if hdr <= 0 || n > math.MaxInt32 {
+		return nil, fmt.Errorf("%w: bad huffman length header", ErrCorrupt)
+	}
+	src = src[hdr:]
+	out := growCap(dst, clampGrow(n, 8*len(src)))
+	base := len(dst)
+	var code uint32
+	var length int
+	bitPos := 0
+	for uint64(len(out)-base) < n {
+		if bitPos >= len(src)*8 {
+			return nil, fmt.Errorf("%w: huffman stream exhausted at %d/%d bytes", ErrCorrupt, len(out)-base, n)
+		}
+		bit := src[bitPos/8] >> (7 - uint(bitPos%8)) & 1
+		bitPos++
+		code = code<<1 | uint32(bit)
+		length++
+		if length > maxCodeLen {
+			return nil, fmt.Errorf("%w: huffman code overlong", ErrCorrupt)
+		}
+		if h.counts[length] > 0 && code >= h.firstCode[length] &&
+			code < h.firstCode[length]+uint32(h.counts[length]) {
+			sym := h.symbols[h.firstIdx[length]+int(code-h.firstCode[length])]
+			out = append(out, sym)
+			code, length = 0, 0
+		}
+	}
+	return out, nil
+}
+
+// refLZSSDecompress is the retired byte-serial match expansion.
+func refLZSSDecompress(dst, src []byte) ([]byte, error) {
+	out := dst
+	base := len(dst)
+	i := 0
+	for i < len(src) {
+		flags := src[i]
+		i++
+		for bit := uint(0); bit < 8; bit++ {
+			if i >= len(src) {
+				if flags>>bit != 0 {
+					return nil, fmt.Errorf("%w: LZSS flags claim data past end", ErrCorrupt)
+				}
+				break
+			}
+			if flags&(1<<bit) == 0 {
+				out = append(out, src[i])
+				i++
+				continue
+			}
+			if i+1 >= len(src) {
+				return nil, fmt.Errorf("%w: truncated LZSS token at %d", ErrCorrupt, i)
+			}
+			token := uint16(src[i])<<8 | uint16(src[i+1])
+			i += 2
+			off := int(token >> 4)
+			length := int(token&0xf) + lzMinMatch
+			if off == 0 || off > len(out)-base {
+				return nil, fmt.Errorf("%w: LZSS offset %d beyond %d output bytes", ErrCorrupt, off, len(out)-base)
+			}
+			for j := 0; j < length; j++ {
+				out = append(out, out[len(out)-off])
+			}
+		}
+	}
+	return out, nil
+}
+
+// refDictDecompress is the retired per-word decode that re-encoded
+// each dictionary hit through AppendUint32.
+func refDictDecompress(d *dict, dst, src []byte) ([]byte, error) {
+	n, hdr := binary.Uvarint(src)
+	if hdr <= 0 || n > math.MaxInt32 {
+		return nil, fmt.Errorf("%w: bad dict length header", ErrCorrupt)
+	}
+	src = src[hdr:]
+	out := growCap(dst, clampGrow(n, isa.WordSize*len(src)+isa.WordSize))
+	nWords := int(n) / isa.WordSize
+	pos := 0
+	for g := 0; g < nWords; g += 8 {
+		end := g + 8
+		if end > nWords {
+			end = nWords
+		}
+		if pos >= len(src) {
+			return nil, fmt.Errorf("%w: dict stream truncated at group %d", ErrCorrupt, g)
+		}
+		tag := src[pos]
+		pos++
+		for i := g; i < end; i++ {
+			if tag&(1<<uint(i-g)) != 0 {
+				if pos >= len(src) {
+					return nil, fmt.Errorf("%w: dict index truncated", ErrCorrupt)
+				}
+				idx := int(src[pos])
+				pos++
+				if idx >= len(d.words) {
+					return nil, fmt.Errorf("%w: dict index %d beyond %d entries", ErrCorrupt, idx, len(d.words))
+				}
+				out = isa.ByteOrder.AppendUint32(out, d.words[idx])
+			} else {
+				if pos+isa.WordSize > len(src) {
+					return nil, fmt.Errorf("%w: dict raw word truncated", ErrCorrupt)
+				}
+				out = append(out, src[pos:pos+isa.WordSize]...)
+				pos += isa.WordSize
+			}
+		}
+	}
+	tail := int(n) - nWords*isa.WordSize
+	if pos+tail > len(src) {
+		return nil, fmt.Errorf("%w: dict tail truncated", ErrCorrupt)
+	}
+	out = append(out, src[pos:pos+tail]...)
+	return out, nil
+}
+
+// refRLEDecompress mirrors the (unchanged) RLE decoder so the
+// equivalence harness covers all five codecs uniformly.
+func refRLEDecompress(dst, src []byte) ([]byte, error) {
+	out := dst
+	for i := 0; i < len(src); {
+		b := src[i]
+		if b != rleEscape {
+			out = append(out, b)
+			i++
+			continue
+		}
+		if i+2 >= len(src) {
+			return nil, fmt.Errorf("%w: truncated RLE token at %d", ErrCorrupt, i)
+		}
+		count, v := int(src[i+1]), src[i+2]
+		if count == 0 {
+			return nil, fmt.Errorf("%w: zero-length RLE run at %d", ErrCorrupt, i)
+		}
+		for j := 0; j < count; j++ {
+			out = append(out, v)
+		}
+		i += 3
+	}
+	return out, nil
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"apbcc/internal/isa"
 )
@@ -21,8 +22,16 @@ import (
 // groups. Decode is a table lookup per word, which is why this codec has
 // the lowest decompression cost in the suite.
 type dict struct {
-	words []uint32          // dictionary, index -> word
-	index map[uint32]uint16 // word -> index
+	// words is the dense O(1) decode table: index -> instruction word.
+	// The decoder writes straight through it into a pre-sized output
+	// image, so a dictionary hit is one load and one 4-byte store.
+	words []uint32
+
+	// index (word -> dictionary slot) is only needed by the compressor;
+	// decode-only codecs rebuilt from a container model never pay for
+	// the map, so it is built lazily on first CompressAppend.
+	indexOnce sync.Once
+	index     map[uint32]uint16
 }
 
 // DictSize is the dictionary capacity: one byte of index space.
@@ -55,12 +64,21 @@ func NewDict(train []byte) Codec {
 	if len(all) > DictSize {
 		all = all[:DictSize]
 	}
-	d := &dict{index: make(map[uint32]uint16, len(all))}
-	for i, e := range all {
+	d := &dict{}
+	for _, e := range all {
 		d.words = append(d.words, e.w)
-		d.index[e.w] = uint16(i)
 	}
 	return d
+}
+
+// ensureIndex builds the compressor's word -> slot map on first use.
+func (d *dict) ensureIndex() {
+	d.indexOnce.Do(func() {
+		d.index = make(map[uint32]uint16, len(d.words))
+		for i, w := range d.words {
+			d.index[w] = uint16(i)
+		}
+	})
 }
 
 // DictEntries reports the trained dictionary size; it is exported for
@@ -84,6 +102,7 @@ func (d *dict) MaxCompressedLen(n int) int {
 }
 
 func (d *dict) CompressAppend(dst, src []byte) ([]byte, error) {
+	d.ensureIndex()
 	out := binary.AppendUvarint(dst, uint64(len(src)))
 	nWords := len(src) / isa.WordSize
 	for g := 0; g < nWords; g += 8 {
@@ -107,6 +126,13 @@ func (d *dict) CompressAppend(dst, src []byte) ([]byte, error) {
 	return out, nil
 }
 
+// DecompressAppend is the fast-path decoder: the output image is sized
+// up front from the length header (clamped by what the stream could
+// actually encode), then filled by indexed 4-byte stores — a dictionary
+// hit is one table load plus one little-endian store, a full all-raw
+// group is a single 32-byte copy — with no per-word append or capacity
+// checks. Output and accept/reject behavior are identical to the
+// append-per-word decoder (pinned by FuzzDecodeEquivalence).
 func (d *dict) DecompressAppend(dst, src []byte) ([]byte, error) {
 	n, hdr := binary.Uvarint(src)
 	// The MaxInt32 cap keeps every derived int (nWords, tail) safely
@@ -117,10 +143,21 @@ func (d *dict) DecompressAppend(dst, src []byte) ([]byte, error) {
 	}
 	src = src[hdr:]
 	// Each compressed word is at least an index byte (-> one 4-byte
-	// word out), which bounds what a corrupt header can pre-allocate.
-	out := growCap(dst, clampGrow(n, isa.WordSize*len(src)+isa.WordSize))
+	// word out), which bounds what a corrupt header can pre-allocate —
+	// and also proves the indexed writes below stay inside the
+	// pre-sized image even for hostile headers (a stream that would
+	// overrun it hits a truncation error first).
+	need := clampGrow(n, isa.WordSize*len(src)+isa.WordSize)
+	base := len(dst)
+	out := growCap(dst, need)
+	out = out[:base+need]
+	l := base
 	nWords := int(n) / isa.WordSize
 	pos := 0
+	// Hoist the decode table: stores through out cannot be proven
+	// alias-free with d.words by the compiler, so keeping the slice
+	// header in a local avoids a reload per decoded word.
+	words := d.words
 	for g := 0; g < nWords; g += 8 {
 		end := g + 8
 		if end > nWords {
@@ -131,6 +168,36 @@ func (d *dict) DecompressAppend(dst, src []byte) ([]byte, error) {
 		}
 		tag := src[pos]
 		pos++
+		// Whole-group fast paths. A full group consumes at most 32
+		// payload bytes (8 raw words), so one bound check up front makes
+		// every per-word truncation check in the group redundant: an
+		// all-raw group collapses to one 32-byte copy, and a mixed group
+		// runs with only the dictionary-index bounds check per word.
+		// (Short tail groups and near-end groups fall through to the
+		// fully-checked loop, whose error behavior is the contract.)
+		if end-g == 8 && pos+8*isa.WordSize <= len(src) {
+			if tag == 0 {
+				copy(out[l:l+8*isa.WordSize], src[pos:])
+				pos += 8 * isa.WordSize
+				l += 8 * isa.WordSize
+				continue
+			}
+			for bit := 0; bit < 8; bit++ {
+				if tag&(1<<bit) != 0 {
+					idx := int(src[pos])
+					pos++
+					if idx >= len(words) {
+						return nil, fmt.Errorf("%w: dict index %d beyond %d entries", ErrCorrupt, idx, len(words))
+					}
+					isa.ByteOrder.PutUint32(out[l:], words[idx])
+				} else {
+					*(*[4]byte)(out[l:]) = *(*[4]byte)(src[pos:])
+					pos += isa.WordSize
+				}
+				l += isa.WordSize
+			}
+			continue
+		}
 		for i := g; i < end; i++ {
 			if tag&(1<<uint(i-g)) != 0 {
 				if pos >= len(src) {
@@ -138,25 +205,28 @@ func (d *dict) DecompressAppend(dst, src []byte) ([]byte, error) {
 				}
 				idx := int(src[pos])
 				pos++
-				if idx >= len(d.words) {
-					return nil, fmt.Errorf("%w: dict index %d beyond %d entries", ErrCorrupt, idx, len(d.words))
+				if idx >= len(words) {
+					return nil, fmt.Errorf("%w: dict index %d beyond %d entries", ErrCorrupt, idx, len(words))
 				}
-				out = isa.ByteOrder.AppendUint32(out, d.words[idx])
+				isa.ByteOrder.PutUint32(out[l:], words[idx])
 			} else {
 				if pos+isa.WordSize > len(src) {
 					return nil, fmt.Errorf("%w: dict raw word truncated", ErrCorrupt)
 				}
-				out = append(out, src[pos:pos+isa.WordSize]...)
+				// Word-at-a-time raw copy: one 32-bit load + store beats a
+				// 4-byte memmove call.
+				*(*[4]byte)(out[l:]) = *(*[4]byte)(src[pos:])
 				pos += isa.WordSize
 			}
+			l += isa.WordSize
 		}
 	}
 	tail := int(n) - nWords*isa.WordSize
 	if pos+tail > len(src) {
 		return nil, fmt.Errorf("%w: dict tail truncated", ErrCorrupt)
 	}
-	out = append(out, src[pos:pos+tail]...)
-	return out, nil
+	copy(out[l:l+tail], src[pos:])
+	return out[:l+tail], nil
 }
 
 func (d *dict) Compress(src []byte) ([]byte, error)   { return d.CompressAppend(nil, src) }

@@ -22,11 +22,39 @@ type huffman struct {
 	firstIdx  [maxCodeLen + 1]int
 	counts    [maxCodeLen + 1]int
 	symbols   []byte // symbols sorted by (length, value)
+	// table is the flat huffTableBits-bit decode table: entry i decodes
+	// the bitstream whose next huffTableBits bits are i. Where two whole
+	// codes fit in the peek window the entry carries both symbols, so one
+	// lookup emits two bytes — the dependent load chain (peek -> load ->
+	// shift -> peek) is the decoder's critical path, and pairing halves
+	// it for the short codes that dominate real streams. Entry layout:
+	//
+	//	bits 0..3   length of the first code (1..huffTableBits)
+	//	bits 4..8   total bits consumed (first + optional second code)
+	//	bits 9..16  first symbol
+	//	bits 17..24 second symbol (pair entries only)
+	//	bit  31     pair flag
+	//
+	// A zero entry means the next code is longer than huffTableBits (or
+	// invalid) and decoding falls back to the canonical per-length
+	// ranges above. The table is built once per model (NewHuffman or
+	// huffmanFromModel) and cached on the codec, so every block decoded
+	// under the model shares it.
+	table [1 << huffTableBits]uint32
 }
 
 // maxCodeLen bounds code lengths so decode tables stay small; the
 // trainer rescales frequencies until the bound holds.
 const maxCodeLen = 16
+
+// huffTableBits is the width of the flat decode table: 11 bits = 2048
+// entries (8 KiB at 4 bytes each). Codes up to 11 bits — in practice
+// all frequent ones — decode with a single table lookup; rarer, longer
+// codes (12..16 bits) take the canonical-range fallback.
+const huffTableBits = 11
+
+// huffPairFlag marks a table entry carrying two decoded symbols.
+const huffPairFlag = 1 << 31
 
 // NewHuffman builds a Huffman codec whose model is trained on the given
 // byte image. Every byte value receives a nonzero frequency (add-one
@@ -146,6 +174,53 @@ func (h *huffman) buildCanonical() {
 			}
 		}
 	}
+	h.buildTable()
+}
+
+// buildTable fills the flat decode table from the canonical codes: a
+// symbol with an l-bit code (l <= huffTableBits) owns every table slot
+// whose top l bits equal its code, and where a second whole code fits
+// in the remaining slot bits the entry is upgraded to a two-symbol
+// pair. Prefix-freedom (guaranteed by canonical construction and
+// checked via Kraft in huffmanFromModel) means no slot is claimed by
+// two different decodings, so the table decode is exactly the
+// first-match-by-increasing-length walk of the bit-serial decoder.
+func (h *huffman) buildTable() {
+	for i := range h.table {
+		h.table[i] = 0
+	}
+	for sym := 0; sym < 256; sym++ {
+		l := int(h.lengths[sym])
+		if l == 0 || l > huffTableBits {
+			continue
+		}
+		entry := uint32(l) | uint32(l)<<4 | uint32(sym)<<9
+		base := h.codes[sym] << (huffTableBits - l)
+		for j := uint32(0); j < 1<<(huffTableBits-l); j++ {
+			h.table[base+j] = entry
+		}
+	}
+	// Pair pass: refine slots whose tail bits start (and finish) a
+	// second code. Total fills are bounded by 2^huffTableBits times the
+	// Kraft sum, so this stays O(table size).
+	for s1 := 0; s1 < 256; s1++ {
+		l1 := int(h.lengths[s1])
+		if l1 == 0 || l1 >= huffTableBits {
+			continue
+		}
+		for s2 := 0; s2 < 256; s2++ {
+			l2 := int(h.lengths[s2])
+			if l2 == 0 || l1+l2 > huffTableBits {
+				continue
+			}
+			lt := l1 + l2
+			entry := huffPairFlag | uint32(l1) | uint32(lt)<<4 | uint32(s1)<<9 | uint32(s2)<<17
+			base := h.codes[s1]<<(huffTableBits-l1) | h.codes[s2]<<(huffTableBits-lt)
+			for j := uint32(0); j < 1<<(huffTableBits-lt); j++ {
+				h.table[base+j] = entry
+			}
+		}
+	}
 }
 
 func (h *huffman) Name() string { return "huffman" }
@@ -181,6 +256,15 @@ func (h *huffman) CompressAppend(dst, src []byte) ([]byte, error) {
 	return out, nil
 }
 
+// DecompressAppend decodes the MSB-first bitstream through the flat
+// table: a 64-bit accumulator is refilled a byte at a time, the top
+// huffTableBits bits index the table, and one lookup yields both the
+// symbol and how many bits to consume. Codes longer than huffTableBits
+// fall back to the canonical per-length ranges. The accept/reject
+// behavior is bit-identical to the retired bit-serial decoder (pinned
+// by FuzzDecodeEquivalence): a code completed only by the zero padding
+// beyond the stream is a stream-exhausted error, a bit pattern matching
+// no code within maxCodeLen is an overlong-code error.
 func (h *huffman) DecompressAppend(dst, src []byte) ([]byte, error) {
 	n, hdr := binary.Uvarint(src)
 	// Same MaxInt32 cap as dict: keep int conversions of n positive.
@@ -188,33 +272,86 @@ func (h *huffman) DecompressAppend(dst, src []byte) ([]byte, error) {
 		return nil, fmt.Errorf("%w: bad huffman length header", ErrCorrupt)
 	}
 	src = src[hdr:]
-	// Pre-grow by the claimed output size, capped by what the stream
+	// Pre-size by the claimed output size, capped by what the stream
 	// could actually encode (>= 1 bit per symbol) so a corrupt header
-	// cannot force a huge allocation before the stream-exhausted check.
-	out := growCap(dst, clampGrow(n, 8*len(src)))
+	// cannot force a huge allocation — and so the indexed writes below
+	// stay in bounds even for hostile headers (a stream that would
+	// overrun the cap exhausts first).
+	need := clampGrow(n, 8*len(src))
 	base := len(dst)
-	var code uint32
-	var length int
-	bitPos := 0
-	for uint64(len(out)-base) < n {
-		if bitPos >= len(src)*8 {
-			return nil, fmt.Errorf("%w: huffman stream exhausted at %d/%d bytes", ErrCorrupt, len(out)-base, n)
+	out := growCap(dst, need)
+	out = out[:base+need]
+	l := base
+	var acc uint64 // next bits of the stream, left-aligned
+	nbits := 0     // valid bits at the top of acc
+	pos := 0       // bytes of src consumed into acc
+	for uint64(l-base) < n {
+		// Refill whole 32-bit chunks while far from the stream end; the
+		// byte-granular loop only tops up the tail. Both preserve the
+		// invariant that bits of acc below nbits are zero, and both keep
+		// nbits >= maxCodeLen whenever real bits remain.
+		if nbits <= 32 {
+			if pos+4 <= len(src) {
+				acc |= uint64(binary.BigEndian.Uint32(src[pos:])) << (32 - nbits)
+				pos += 4
+				nbits += 32
+			} else {
+				for nbits <= 56 && pos < len(src) {
+					acc |= uint64(src[pos]) << (56 - nbits)
+					pos++
+					nbits += 8
+				}
+			}
 		}
-		bit := src[bitPos/8] >> (7 - uint(bitPos%8)) & 1
-		bitPos++
-		code = code<<1 | uint32(bit)
-		length++
-		if length > maxCodeLen {
-			return nil, fmt.Errorf("%w: huffman code overlong", ErrCorrupt)
+		e := h.table[acc>>(64-huffTableBits)]
+		var sym byte
+		var length int
+		if e != 0 {
+			if e&huffPairFlag != 0 {
+				// Two whole codes in the peek window: emit both, consume
+				// once — unless the image needs only one more byte or the
+				// second code would dip into padding (then take just the
+				// first, and let the next iteration decide).
+				lt := int(e >> 4 & 0x1f)
+				if lt <= nbits && uint64(l-base)+2 <= n {
+					out[l] = byte(e >> 9)
+					out[l+1] = byte(e >> 17)
+					l += 2
+					acc <<= uint(lt)
+					nbits -= lt
+					continue
+				}
+			}
+			length = int(e & 0xf)
+			sym = byte(e >> 9)
+		} else {
+			// Long or invalid code: scan the canonical ranges beyond the
+			// table width, first (shortest) match wins.
+			for length = huffTableBits + 1; ; length++ {
+				if length > maxCodeLen {
+					return nil, fmt.Errorf("%w: huffman code overlong", ErrCorrupt)
+				}
+				code := uint32(acc >> (64 - length))
+				if h.counts[length] > 0 && code >= h.firstCode[length] &&
+					code < h.firstCode[length]+uint32(h.counts[length]) {
+					sym = h.symbols[h.firstIdx[length]+int(code-h.firstCode[length])]
+					break
+				}
+			}
 		}
-		if h.counts[length] > 0 && code >= h.firstCode[length] &&
-			code < h.firstCode[length]+uint32(h.counts[length]) {
-			h2 := h.symbols[h.firstIdx[length]+int(code-h.firstCode[length])]
-			out = append(out, h2)
-			code, length = 0, 0
+		if length > nbits {
+			// The match completed only thanks to zero padding past the end
+			// of the stream (the refill loop drained src, so nbits is all
+			// the real bits left) — the bit-serial decoder would have run
+			// out asking for the next real bit here.
+			return nil, fmt.Errorf("%w: huffman stream exhausted at %d/%d bytes", ErrCorrupt, l-base, n)
 		}
+		out[l] = sym
+		l++
+		acc <<= uint(length)
+		nbits -= length
 	}
-	return out, nil
+	return out[:l], nil
 }
 
 func (h *huffman) Compress(src []byte) ([]byte, error)   { return h.CompressAppend(nil, src) }

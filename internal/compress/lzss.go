@@ -128,6 +128,11 @@ func (lzss) CompressAppend(dst, src []byte) ([]byte, error) {
 	return out, nil
 }
 
+// DecompressAppend is the fast-path decoder: all-literal groups (flag
+// byte 0) are copied eight bytes at a time, and match expansion runs
+// through copy in region-doubling chunks instead of a byte-at-a-time
+// append loop. Output and accept/reject behavior are identical to the
+// byte-serial decoder (pinned by FuzzDecodeEquivalence).
 func (lzss) DecompressAppend(dst, src []byte) ([]byte, error) {
 	out := dst
 	base := len(dst) // back-references must never reach into dst's prefix
@@ -135,6 +140,16 @@ func (lzss) DecompressAppend(dst, src []byte) ([]byte, error) {
 	for i < len(src) {
 		flags := src[i]
 		i++
+		if flags == 0 {
+			// Eight literals (or the stream's literal tail): one copy.
+			lit := len(src) - i
+			if lit > 8 {
+				lit = 8
+			}
+			out = append(out, src[i:i+lit]...)
+			i += lit
+			continue
+		}
 		for bit := uint(0); bit < 8; bit++ {
 			if i >= len(src) {
 				// Trailing zero flag bits are padding; a set bit with no
@@ -159,8 +174,14 @@ func (lzss) DecompressAppend(dst, src []byte) ([]byte, error) {
 			if off == 0 || off > len(out)-base {
 				return nil, fmt.Errorf("%w: LZSS offset %d beyond %d output bytes", ErrCorrupt, off, len(out)-base)
 			}
-			for j := 0; j < length; j++ {
-				out = append(out, out[len(out)-off])
+			// Chunked match copy: each pass doubles the copied region, so
+			// even off=1 runs finish in O(log length) copies. off >= length
+			// (no overlap) completes in the first pass.
+			s := len(out) - off
+			out = extendLen(out, length)
+			end := len(out)
+			for d := end - length; d < end; {
+				d += copy(out[d:end], out[s:d])
 			}
 		}
 	}

@@ -63,12 +63,12 @@ func dictFromModel(model []byte) (Codec, error) {
 	if len(model) != int(n)*4 {
 		return nil, fmt.Errorf("%w: dict model wants %d words, has %d bytes", ErrCorrupt, n, len(model))
 	}
-	d := &dict{index: make(map[uint32]uint16, n)}
+	d := &dict{words: make([]uint32, n)}
 	for i := 0; i < int(n); i++ {
-		w := binary.LittleEndian.Uint32(model[i*4:])
-		d.words = append(d.words, w)
-		d.index[w] = uint16(i)
+		d.words[i] = binary.LittleEndian.Uint32(model[i*4:])
 	}
+	// Decode-side state only: the compressor's word->slot map is built
+	// lazily if this codec ever compresses.
 	return d, nil
 }
 
@@ -92,9 +92,12 @@ func huffmanFromModel(model []byte) (Codec, error) {
 		}
 		h.lengths[i] = l
 	}
-	h.buildCanonical()
-	// Kraft check: the lengths must form a complete prefix code, or
-	// decoding would be ambiguous/underdefined.
+	// Kraft check BEFORE building tables: the lengths must form a
+	// prefix code, or canonical code assignment overflows its length
+	// slots — buildCanonical's flat-table fill indexes by code, so a
+	// Kraft-violating model must be rejected here, not trusted to
+	// panic later. (Any violating sum exceeds 1 by at least 2^-16, so
+	// the float tolerance can never admit an overflowing model.)
 	sum := 0.0
 	for _, l := range h.lengths {
 		sum += 1 / float64(uint64(1)<<l)
@@ -102,6 +105,7 @@ func huffmanFromModel(model []byte) (Codec, error) {
 	if sum > 1.0000001 {
 		return nil, fmt.Errorf("%w: huffman model violates Kraft inequality", ErrCorrupt)
 	}
+	h.buildCanonical()
 	return h, nil
 }
 

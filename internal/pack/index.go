@@ -52,6 +52,12 @@ type Index struct {
 // huge inputs grow geometrically up to the file size.
 const indexReadChunk = 64 << 10
 
+// maxBlockWords bounds a single block's claimed plain size (2^26
+// words = 256 MiB): far above any real basic block, small enough that
+// per-block arithmetic can never overflow and allocation decisions
+// stay sane even before payload verification exposes the lie.
+const maxBlockWords = 1 << 26
+
 // ParseIndex parses the metadata prefix of a v2 container. data may be
 // the full container or any prefix long enough to hold the metadata;
 // payload bytes after the index are not touched. v1 containers are
@@ -89,6 +95,12 @@ func ParseIndex(data []byte) (*Index, error) {
 		e.Label = string(r.bytes())
 		e.Func = string(r.bytes())
 		e.Words = int(r.uvarint())
+		// Bound the claimed plain size: a hostile Words makes every
+		// derived quantity (pre-allocations, e.Words*WordSize length
+		// checks) lie, and a 2^63-range claim wraps int negative.
+		if e.Words < 0 || e.Words > maxBlockWords {
+			return nil, fmt.Errorf("%w: block %d claims %d words", ErrCorrupt, i, e.Words)
+		}
 		e.Off = int64(r.uvarint())
 		e.Len = int64(r.uvarint())
 		bcrc := r.take(4)
@@ -178,17 +190,48 @@ func (x *Index) NewCodec() (compress.Codec, error) {
 // ReadPayloadAt reads block i's raw compressed payload from r via one
 // ReadAt of exactly Len bytes. No decompression or verification
 // happens; pair with VerifyBlock (or DecompressBlockAt) before trusting
-// the bytes.
+// the bytes. Allocation-sensitive callers use ReadPayloadRangeAt with a
+// pooled dst instead.
 func (x *Index) ReadPayloadAt(r io.ReaderAt, i int) ([]byte, error) {
-	if i < 0 || i >= len(x.Blocks) {
-		return nil, fmt.Errorf("%w: no block %d (%d blocks)", ErrCorrupt, i, len(x.Blocks))
+	return x.ReadPayloadRangeAt(r, i, i, nil)
+}
+
+// ReadPayloadRangeAt reads the concatenated compressed payloads of
+// blocks lo..hi (inclusive) with one ReadAt, appending them to dst and
+// returning the extended slice. Payloads are stored back to back in
+// block order (ParseIndex rejects anything else), so the range is one
+// contiguous byte span and block j's payload sits at
+// dst[off + x.Blocks[j].Off - x.Blocks[lo].Off] for len x.Blocks[j].Len
+// — see PayloadRangeSlice. This is the coalescing primitive behind the
+// serving tier's predictive readahead: one disk round trip fetches a
+// block and its likely successors.
+func (x *Index) ReadPayloadRangeAt(r io.ReaderAt, lo, hi int, dst []byte) ([]byte, error) {
+	if lo < 0 || hi < lo || hi >= len(x.Blocks) {
+		return nil, fmt.Errorf("%w: no block range %d..%d (%d blocks)", ErrCorrupt, lo, hi, len(x.Blocks))
 	}
-	e := x.Blocks[i]
-	buf := make([]byte, e.Len)
-	if _, err := r.ReadAt(buf, x.PayloadBase+e.Off); err != nil {
-		return nil, fmt.Errorf("pack: block %d payload read: %w", i, err)
+	start := x.Blocks[lo].Off
+	n := int(x.Blocks[hi].Off + x.Blocks[hi].Len - start)
+	base := len(dst)
+	// The span size is known exactly, so grow in one step: a pooled
+	// pre-sized dst never allocates, a nil dst costs one allocation.
+	if cap(dst)-base < n {
+		grown := make([]byte, base, base+n)
+		copy(grown, dst)
+		dst = grown
 	}
-	return buf, nil
+	dst = dst[:base+n]
+	if _, err := r.ReadAt(dst[base:base+n], x.PayloadBase+start); err != nil {
+		return nil, fmt.Errorf("pack: block %d..%d payload read: %w", lo, hi, err)
+	}
+	return dst, nil
+}
+
+// PayloadRangeSlice returns block i's payload within a buffer produced
+// by ReadPayloadRangeAt(r, lo, hi, dst) with base == len(dst) at call
+// time.
+func (x *Index) PayloadRangeSlice(buf []byte, base, lo, i int) []byte {
+	off := base + int(x.Blocks[i].Off-x.Blocks[lo].Off)
+	return buf[off : off+int(x.Blocks[i].Len)]
 }
 
 // DecompressBlockAt reads block i's payload from r, decompresses it

@@ -71,14 +71,41 @@ func Pack(p *program.Program, codec compress.Codec) ([]byte, error) {
 }
 
 // PackParallel is Pack with block compression fanned out over the given
-// number of workers (0 or negative selects GOMAXPROCS). Each worker
-// compresses its stride of blocks into its own pooled scratch buffer;
-// payloads are assembled in block order afterwards, so the container is
-// byte-identical for every worker count. The codec must be safe for
-// concurrent use (all built-in codecs are — per-call state is
-// stack-local or pooled).
+// number of workers. 0 or negative selects an automatic count:
+// GOMAXPROCS, capped so every worker amortizes at least
+// packParallelGrain bytes of compression work — small builds stay
+// serial, because each extra worker pays fixed per-stride costs (a
+// goroutine, pooled scratch, and for LZSS a 32 KiB matcher reset) that
+// swamp sub-grain inputs. An explicit positive count is honored as
+// given. Each worker compresses its stride of blocks into its own
+// pooled scratch buffer; payloads are assembled in block order
+// afterwards, so the container is byte-identical for every worker
+// count. The codec must be safe for concurrent use (all built-in
+// codecs are — per-call state is stack-local or pooled).
 func PackParallel(p *program.Program, codec compress.Codec, workers int) ([]byte, error) {
 	return packVersion(p, codec, workers, Version)
+}
+
+// packParallelGrain is the minimum input bytes automatic worker
+// selection hands each worker. At the suite's compression throughputs
+// (≈10 MB/s serial) 32 KiB is a few milliseconds of work — enough to
+// bury the microseconds of per-worker setup that made GOMAXPROCS
+// builds of kilobyte programs slower than serial ones.
+const packParallelGrain = 32 << 10
+
+// autoWorkers caps an automatic worker count for a build of totalBytes
+// so every worker gets at least one full grain; maxProcs is the
+// available parallelism (GOMAXPROCS in production, pinned values in
+// tests).
+func autoWorkers(totalBytes, maxProcs int) int {
+	maxW := totalBytes / packParallelGrain
+	if maxW < 1 {
+		maxW = 1
+	}
+	if maxProcs > maxW {
+		return maxW
+	}
+	return maxProcs
 }
 
 // packVersion serializes the program in the requested container format
@@ -153,7 +180,7 @@ func packVersion(p *program.Program, codec compress.Codec, workers, version int)
 func compressBlocks(p *program.Program, codec compress.Codec, workers int) ([][]byte, []uint32, error) {
 	blocks := p.Graph.Blocks()
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = autoWorkers(p.TotalBytes(), runtime.GOMAXPROCS(0))
 	}
 	if workers > len(blocks) {
 		workers = len(blocks)
@@ -328,7 +355,24 @@ func unpackV2(name string, data []byte) (*program.Program, compress.Codec, *Info
 		CompressedBytes: int(idx.PayloadLen), ContainerBytes: len(data),
 	}
 	g := cfg.New()
-	var plain []byte
+	// The index fixes the exact plain-image size up front, so the image
+	// streams through one exactly-sized pooled buffer — it is scratch:
+	// finalize decodes instructions straight out of it and the Program
+	// keeps only those. The pre-size is a hint, not trust: the claimed
+	// total is clamped by what the payload bytes could plausibly decode
+	// to (ParseIndex already bounds each block's Words), so a hostile
+	// index can cost at most one bounded allocation — per-block
+	// verification then rejects the lie, and a legitimately
+	// higher-expansion container (RLE) just grows the buffer.
+	var totalBytes int64
+	for i := range idx.Blocks {
+		totalBytes += int64(idx.Blocks[i].Words) * isa.WordSize
+	}
+	if bound := 8*idx.PayloadLen + isa.WordSize; totalBytes > bound {
+		totalBytes = bound
+	}
+	plain := compress.GetBuf(int(totalBytes))
+	defer func() { compress.PutBuf(plain) }()
 	for i := range idx.Blocks {
 		e := idx.Blocks[i]
 		id := g.AddBlock(e.Label, e.Words)
@@ -351,19 +395,24 @@ func unpackV2(name string, data []byte) (*program.Program, compress.Codec, *Info
 
 // finalize is the version-independent tail of Unpack: whole-image
 // checksum, instruction decode, block range re-derivation, and full
-// program validation.
+// program validation. plain is treated as scratch: instructions are
+// decoded straight out of the byte image (no intermediate word slice),
+// and the caller may pool the buffer once finalize returns.
 func finalize(name string, g *cfg.Graph, plain []byte, wantCRC uint32, info *Info, codec compress.Codec) (*program.Program, compress.Codec, *Info, error) {
 	info.PlainBytes = len(plain)
 	if got := crc32.ChecksumIEEE(plain); got != wantCRC {
 		return nil, nil, nil, fmt.Errorf("%w: %#x != %#x", ErrBadChecksum, got, wantCRC)
 	}
-	words, err := isa.BytesToWords(plain)
-	if err != nil {
-		return nil, nil, nil, fmt.Errorf("pack: %w", err)
+	if len(plain)%isa.WordSize != 0 {
+		return nil, nil, nil, fmt.Errorf("pack: %w: %d bytes is not a whole number of words", isa.ErrShortBuffer, len(plain))
 	}
-	ins, err := isa.DecodeAll(words)
-	if err != nil {
-		return nil, nil, nil, fmt.Errorf("pack: %w", err)
+	ins := make([]isa.Instruction, len(plain)/isa.WordSize)
+	for i := range ins {
+		in, err := isa.Decode(isa.ByteOrder.Uint32(plain[i*isa.WordSize:]))
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("pack: isa: word %d: %w", i, err)
+		}
+		ins[i] = in
 	}
 	// Re-derive block word ranges from the serialized sizes.
 	offset := 0

@@ -1,0 +1,352 @@
+package pack
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"apbcc/internal/cfg"
+	"apbcc/internal/compress"
+	"apbcc/internal/program"
+	"apbcc/internal/workloads"
+)
+
+// TestUnpackerMatchesUnpack pins the Unpacker against the one-shot
+// Unpack on every codec: same reconstructed program, same info, and a
+// stable result across repeated calls (the cached fast path), with a
+// different container correctly displacing the cache.
+func TestUnpackerMatchesUnpack(t *testing.T) {
+	for _, codecName := range compress.Names() {
+		codecName := codecName
+		t.Run(codecName, func(t *testing.T) {
+			data, _ := packWorkload(t, "fft", codecName)
+			want, _, wantInfo, err := Unpack("fft", data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			u := NewUnpacker()
+			for pass := 0; pass < 3; pass++ {
+				got, codec, info, err := u.Unpack("fft", data)
+				if err != nil {
+					t.Fatalf("pass %d: %v", pass, err)
+				}
+				if codec.Name() != codecName {
+					t.Fatalf("pass %d: codec %s", pass, codec.Name())
+				}
+				if *info != *wantInfo {
+					t.Fatalf("pass %d: info %+v != %+v", pass, *info, *wantInfo)
+				}
+				gotCode, err := got.CodeBytes()
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantCode, err := want.CodeBytes()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(gotCode, wantCode) {
+					t.Fatalf("pass %d: reconstructed image differs", pass)
+				}
+				if got.Graph.NumBlocks() != want.Graph.NumBlocks() {
+					t.Fatalf("pass %d: %d blocks != %d", pass, got.Graph.NumBlocks(), want.Graph.NumBlocks())
+				}
+			}
+			// A different workload must displace the cache, not poison it.
+			other, ow := packWorkload(t, "crc32", codecName)
+			po, _, _, err := u.Unpack("crc32", other)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if po.Name != "crc32" || po.Graph.NumBlocks() != ow.Program.Graph.NumBlocks() {
+				t.Fatal("unpacker served the stale cached program")
+			}
+			// And switching back re-parses correctly.
+			back, _, _, err := u.Unpack("fft", data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if back.Graph.NumBlocks() != want.Graph.NumBlocks() {
+				t.Fatal("unpacker lost the original container")
+			}
+		})
+	}
+}
+
+// TestUnpackerRejectsCorruption verifies the cached fast path still
+// runs the full verification battery: flipping any payload byte of an
+// already-cached container must fail, and must not poison later calls
+// with the pristine bytes.
+func TestUnpackerRejectsCorruption(t *testing.T) {
+	data, _ := packWorkload(t, "fft", "dict")
+	u := NewUnpacker()
+	if _, _, _, err := u.Unpack("fft", data); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := ParseIndex(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, off := range []int64{idx.PayloadBase, idx.PayloadBase + idx.PayloadLen/2, int64(len(data) - 1)} {
+		bad := bytes.Clone(data)
+		bad[off] ^= 0x40
+		if _, _, _, err := u.Unpack("fft", bad); err == nil {
+			t.Fatalf("payload flip at %d not rejected", off)
+		}
+		got, _, _, err := u.Unpack("fft", data)
+		if err != nil {
+			t.Fatalf("pristine container after corruption: %v", err)
+		}
+		if got == nil {
+			t.Fatal("no program")
+		}
+	}
+}
+
+// TestUnpackerV1Fallback: v1 containers have no index, so every call
+// takes the full path — and still succeeds.
+func TestUnpackerV1Fallback(t *testing.T) {
+	w, err := workloads.ByName("fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := w.Program.CodeBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec, err := compress.New("dict", code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := packVersion(w.Program, codec, 1, VersionV1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := NewUnpacker()
+	for pass := 0; pass < 2; pass++ {
+		p, _, info, err := u.Unpack("fft", v1)
+		if err != nil {
+			t.Fatalf("pass %d: %v", pass, err)
+		}
+		if info.Version != VersionV1 || p.Graph.NumBlocks() != w.Program.Graph.NumBlocks() {
+			t.Fatalf("pass %d: bad v1 reconstruction", pass)
+		}
+	}
+}
+
+// TestUnpackerAllocs pins the streaming decode budget: once the
+// skeleton is cached, re-verifying the same container costs at most 8
+// allocations per call — the satellite target of the decode fast-path
+// PR. (The real count is ~1: the returned Info copy.)
+func TestUnpackerAllocs(t *testing.T) {
+	data, _ := packWorkload(t, "fft", "dict")
+	u := NewUnpacker()
+	if _, _, _, err := u.Unpack("fft", data); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, _, _, err := u.Unpack("fft", data); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 8 {
+		t.Errorf("Unpacker.Unpack steady-state allocs/op = %.1f, want <= 8", allocs)
+	}
+}
+
+// TestAutoWorkers pins the small-build cutoff: automatic worker
+// selection stays serial below the grain and scales with input bytes
+// up to the available parallelism.
+func TestAutoWorkers(t *testing.T) {
+	cases := []struct {
+		bytes, procs, want int
+	}{
+		{0, 8, 1},
+		{1 << 10, 8, 1},                    // fft-sized build: serial
+		{2*packParallelGrain - 1, 8, 1},    // under two full grains: still serial
+		{2 * packParallelGrain, 8, 2},      // every worker gets >= one grain
+		{3 * packParallelGrain, 8, 3},      // partial scale-up
+		{100 * packParallelGrain, 8, 8},    // large build: full parallelism
+		{100 * packParallelGrain, 1, 1},    // never exceeds GOMAXPROCS
+		{packParallelGrain * 1000, 16, 16}, // huge build, many cores
+		{2*packParallelGrain + 1, 2, 2},    // cap binds before procs
+	}
+	for _, c := range cases {
+		if got := autoWorkers(c.bytes, c.procs); got != c.want {
+			t.Errorf("autoWorkers(%d, %d) = %d, want %d", c.bytes, c.procs, got, c.want)
+		}
+	}
+}
+
+// bigProgram synthesizes a program large enough that automatic worker
+// selection actually goes parallel (several grains of input).
+func bigProgram(tb testing.TB) *program.Program {
+	g := cfg.New()
+	const nblocks, words = 16, 4096 // 16 KiB per block, 256 KiB total
+	ids := make([]cfg.BlockID, nblocks)
+	for i := range ids {
+		ids[i] = g.AddBlock(fmt.Sprintf("b%d", i), words)
+	}
+	if err := g.SetEntry(ids[0]); err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i+1 < len(ids); i++ {
+		g.MustAddEdge(ids[i], ids[i+1], cfg.EdgeJump, 1)
+	}
+	p, err := program.Synthesize("bigblocks", g, 42)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return p
+}
+
+// TestPackParallelCutoffDeterministic is the benchmark-guarded half of
+// the cutoff satellite: on a program big enough to clear the grain,
+// automatic selection must actually fan out (when procs allow) and the
+// container must stay byte-identical to the serial build — the cutoff
+// must never change output, only scheduling.
+func TestPackParallelCutoffDeterministic(t *testing.T) {
+	p := bigProgram(t)
+	if w := autoWorkers(p.TotalBytes(), 8); w < 2 {
+		t.Fatalf("big program selected %d workers, want parallel", w)
+	}
+	code, err := p.CodeBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, codecName := range []string{"dict", "lzss"} {
+		codec, err := compress.New(codecName, code)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial, err := PackParallel(p, codec, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 2, 5} {
+			par, err := PackParallel(p, codec, workers)
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			if !bytes.Equal(serial, par) {
+				t.Fatalf("%s workers=%d: container differs from serial build", codecName, workers)
+			}
+		}
+		if _, _, _, err := Unpack("bigblocks", serial); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestReadPayloadRangeAt checks the coalescing primitive: any block
+// range read in one ReadAt must slice into exactly the per-block
+// payloads the container holds, and invalid ranges must error.
+func TestReadPayloadRangeAt(t *testing.T) {
+	data, _ := packWorkload(t, "fft", "lzss")
+	idx, err := ParseIndex(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := bytes.NewReader(data)
+	n := len(idx.Blocks)
+	ranges := [][2]int{{0, 0}, {0, n - 1}, {n / 2, n - 1}, {1, 1}, {n / 3, 2 * n / 3}}
+	for _, rg := range ranges {
+		lo, hi := rg[0], rg[1]
+		if lo > hi {
+			continue
+		}
+		prefix := []byte{0xAB, 0xCD}
+		buf, err := idx.ReadPayloadRangeAt(r, lo, hi, prefix)
+		if err != nil {
+			t.Fatalf("range %d..%d: %v", lo, hi, err)
+		}
+		if !bytes.Equal(buf[:2], prefix) {
+			t.Fatalf("range %d..%d clobbered dst prefix", lo, hi)
+		}
+		for i := lo; i <= hi; i++ {
+			e := idx.Blocks[i]
+			want := data[idx.PayloadBase+e.Off : idx.PayloadBase+e.Off+e.Len]
+			if got := idx.PayloadRangeSlice(buf, 2, lo, i); !bytes.Equal(got, want) {
+				t.Fatalf("range %d..%d: block %d payload differs", lo, hi, i)
+			}
+		}
+	}
+	for _, bad := range [][2]int{{-1, 0}, {2, 1}, {0, n}, {n, n}} {
+		if _, err := idx.ReadPayloadRangeAt(r, bad[0], bad[1], nil); err == nil {
+			t.Fatalf("range %d..%d: no error", bad[0], bad[1])
+		}
+	}
+}
+
+// BenchmarkUnpackStream measures the Unpacker's steady-state decode
+// throughput: the full per-container verification (every payload
+// decompressed and CRC-checked against the cached skeleton) without
+// the one-shot path's parse-and-rebuild overhead.
+func BenchmarkUnpackStream(b *testing.B) {
+	w, err := workloads.ByName("fft")
+	if err != nil {
+		b.Fatal(err)
+	}
+	code, err := w.Program.CodeBytes()
+	if err != nil {
+		b.Fatal(err)
+	}
+	codec, err := compress.New("dict", code)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data, err := Pack(w.Program, codec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	u := NewUnpacker()
+	if _, _, _, err := u.Unpack("fft", data); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(w.Program.TotalBytes()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := u.Unpack("fft", data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestUnpackRejectsHugeWordsClaim: a tiny container whose index claims
+// an astronomical block size must fail with ErrCorrupt before any
+// large allocation — the claimed plain size is a hint to verify, not
+// to trust (a 4 TiB pre-allocation here used to be a fatal OOM).
+func TestUnpackRejectsHugeWordsClaim(t *testing.T) {
+	craft := func(words uint64) []byte {
+		var buf bytes.Buffer
+		buf.Write(Magic)
+		writeUvarint(&buf, Version)
+		writeBytes(&buf, []byte("identity"))
+		writeBytes(&buf, nil)         // empty model
+		writeFixed32(&buf, 0)         // image CRC (never reached)
+		writeUvarint(&buf, 0)         // entry
+		writeUvarint(&buf, 1)         // nblocks
+		writeBytes(&buf, []byte("b")) // label
+		writeBytes(&buf, nil)         // func
+		writeUvarint(&buf, words)
+		writeUvarint(&buf, 0) // payload off
+		writeUvarint(&buf, 0) // payload len
+		writeFixed32(&buf, 0) // block CRC
+		writeUvarint(&buf, 0) // nedges
+		writeUvarint(&buf, 0) // payload section length
+		return buf.Bytes()
+	}
+	for _, words := range []uint64{1 << 40, 1 << 61, 1 << 63} {
+		_, _, _, err := Unpack("hostile", craft(words))
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("words=%d: err = %v, want ErrCorrupt", words, err)
+		}
+	}
+	// A modest claim still fails verification (0 payload bytes cannot
+	// decode to 2 words) but exercises the same path without tripping
+	// the parse-time bound.
+	if _, _, _, err := Unpack("hostile", craft(2)); err == nil {
+		t.Fatal("modest lying claim accepted")
+	}
+}

@@ -201,12 +201,43 @@ func BenchmarkBlockSource(b *testing.B) {
 		})
 		b.Run(codecName+"/l2-index-read", func(b *testing.B) {
 			scratch := compress.GetBuf(len(img))
-			defer compress.PutBuf(scratch)
+			comps := compress.GetBuf(codec.MaxCompressedLen(len(img)))
+			defer func() {
+				compress.PutBuf(scratch)
+				compress.PutBuf(comps)
+			}()
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := obj.VerifiedBlock(codec, id, scratch[:0]); err != nil {
+				if _, _, err := obj.VerifiedBlock(codec, id, comps[:0], scratch[:0]); err != nil {
 					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(codecName+"/l2-range-read3", func(b *testing.B) {
+			// The coalesced readahead shape: three adjacent blocks in one
+			// ReadAt, each decompress-verified. Compare against 3x the
+			// l2-index-read row to see what coalescing saves.
+			idx := obj.Index()
+			span := int(idx.Blocks[id+2].Off + idx.Blocks[id+2].Len - idx.Blocks[id].Off)
+			buf := compress.GetBuf(span)
+			scratch := compress.GetBuf(len(img))
+			defer func() {
+				compress.PutBuf(buf)
+				compress.PutBuf(scratch)
+			}()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out, err := obj.ReadBlockRange(id, id+2, buf[:0])
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j := id; j <= id+2; j++ {
+					comp := idx.PayloadRangeSlice(out, 0, id, j)
+					if _, err := idx.VerifyBlock(codec, j, comp, scratch[:0]); err != nil {
+						b.Fatal(err)
+					}
 				}
 			}
 		})

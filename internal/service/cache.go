@@ -152,6 +152,34 @@ func (c *BlockCache) Get(key string) ([]byte, bool) {
 	return c.shard(key).get(key)
 }
 
+// Contains reports whether key is resident without touching policy
+// recency or hit/miss accounting — a pure peek, used to plan readahead
+// without distorting replacement decisions.
+func (c *BlockCache) Contains(key string) bool {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_, ok := sh.items[key]
+	return ok
+}
+
+// Add inserts a value produced out of band — the serving tier's
+// readahead admission path. It charges neither hit nor miss, consults
+// the replacement policy's admission rule like any fill, and never
+// replaces an existing entry (the resident value is authoritative; a
+// concurrent demand fill for the same key may also race in first). It
+// reports whether the value was admitted. The cache shares val with
+// future readers: the caller must hand over ownership.
+func (c *BlockCache) Add(key string, val []byte, cost int64) bool {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.items[key]; ok {
+		return false
+	}
+	return sh.insert(key, val, cost)
+}
+
 // Stats aggregates statistics across shards.
 func (c *BlockCache) Stats() CacheStats {
 	var s CacheStats
@@ -277,20 +305,21 @@ func safeCompute(compute func() ([]byte, int64, error)) (val []byte, cost int64,
 }
 
 // insert adds an entry and asks the policy for victims until the shard
-// fits its capacity. Values larger than the whole shard are not cached
-// at all (admitting them would just flush everything else), and the
-// policy may veto admission outright. Caller holds the lock.
-func (s *cacheShard) insert(key string, val []byte, cost int64) {
+// fits its capacity, reporting whether the value was actually admitted.
+// Values larger than the whole shard are not cached at all (admitting
+// them would just flush everything else), and the policy may veto
+// admission outright. Caller holds the lock.
+func (s *cacheShard) insert(key string, val []byte, cost int64) bool {
 	if len(val) > s.capacity {
-		return
+		return false
 	}
 	if _, ok := s.items[key]; ok { // lost a race with another insert
 		s.pol.OnAccess(key, s.tick())
-		return
+		return false
 	}
 	meta := policy.Meta{Bytes: len(val), Cost: cost}
 	if !s.pol.Admit(key, meta) {
-		return
+		return false
 	}
 	now := s.tick()
 	s.items[key] = val
@@ -312,6 +341,7 @@ func (s *cacheShard) insert(key string, val []byte, cost int64) {
 		}
 		s.evictions++
 	}
+	return true
 }
 
 // removeLocked drops one entry, reporting whether any bytes were

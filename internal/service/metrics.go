@@ -125,10 +125,11 @@ type Metrics struct {
 	BytesSent atomic.Int64 // payload bytes written
 
 	// L2 disk-store tier counters (all zero when no store is configured).
-	StoreWarm     atomic.Int64 // entries restored from the store without packing
-	StorePersists atomic.Int64 // containers persisted to the store
-	StoreL2Hits   atomic.Int64 // L1 block misses satisfied by an index read
-	StoreL2Misses atomic.Int64 // L1 block misses that fell back to a full rebuild
+	StoreWarm      atomic.Int64 // entries restored from the store without packing
+	StorePersists  atomic.Int64 // containers persisted to the store
+	StoreL2Hits    atomic.Int64 // L1 block misses satisfied by an index read
+	StoreL2Misses  atomic.Int64 // L1 block misses that fell back to a full rebuild
+	StoreReadahead atomic.Int64 // predicted successor blocks admitted to L1 by coalesced readahead
 
 	mu       sync.Mutex
 	perCodec map[string]*Histogram
@@ -212,6 +213,7 @@ func (m *Metrics) WriteTables(w io.Writer, cache CacheStats, pool PoolStats, st 
 		dt.AddRow("containers_persisted", m.StorePersists.Load())
 		dt.AddRow("l2_block_hits", m.StoreL2Hits.Load())
 		dt.AddRow("l2_block_misses", m.StoreL2Misses.Load())
+		dt.AddRow("readahead_admitted", m.StoreReadahead.Load())
 		dt.AddRow("block_reads", st.BlockReads)
 		dt.AddRow("block_read_bytes", st.BlockBytes)
 		dt.AddRow("put_bytes", st.PutBytes)

@@ -15,9 +15,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"apbcc/internal/cfg"
 	"apbcc/internal/compress"
 	"apbcc/internal/isa"
 	"apbcc/internal/pack"
+	"apbcc/internal/policy"
 	"apbcc/internal/program"
 	"apbcc/internal/report"
 	"apbcc/internal/store"
@@ -60,6 +62,13 @@ type Config struct {
 	// against a warm store serves previously-built containers without
 	// re-packing.
 	StoreDir string
+	// ReadaheadK is the number of predicted successor blocks an L2 read
+	// fetches alongside the demanded block — one coalesced ReadAt — and
+	// admits into the L1 cache. Candidates come from the entry's
+	// markov-prefetch beam over the CFG edge probabilities. 0 selects
+	// the default of 2; negative disables readahead. Only meaningful
+	// with StoreDir set.
+	ReadaheadK int
 }
 
 func (c Config) withDefaults() Config {
@@ -78,22 +87,50 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 8
 	}
+	if c.ReadaheadK == 0 {
+		c.ReadaheadK = 2
+	}
+	if c.ReadaheadK < 0 {
+		c.ReadaheadK = 0
+	}
 	return c
 }
+
+// Readahead shape limits: candidates beyond readaheadWindowBlocks of
+// the demanded block, or spans beyond readaheadMaxBytes of compressed
+// payload, are not worth one coalesced read — the seek they save costs
+// less than the extra bytes they drag in.
+const (
+	readaheadWindowBlocks = 16
+	readaheadMaxBytes     = 256 << 10
+	// readaheadDepth is the markov-prefetch beam depth used to score
+	// successor candidates when an entry is built.
+	readaheadDepth = 2
+)
 
 // Server is the pack-serving subsystem: container and block endpoints
 // in front of the sharded L1 block cache, the batching worker pool,
 // and (when configured) the content-addressed L2 disk store.
 type Server struct {
-	cache   *BlockCache
-	pool    *Pool
-	metrics *Metrics
-	store   *store.Store // nil when no StoreDir was configured
-	handler http.Handler
+	cache      *BlockCache
+	pool       *Pool
+	metrics    *Metrics
+	store      *store.Store // nil when no StoreDir was configured
+	readaheadK int          // predicted successors fetched per L2 read (0 = off)
+	handler    http.Handler
 
 	mu      sync.Mutex
 	entries map[string]*entry
 	closing bool // no new persists may start once set
+
+	// unp re-verifies containers through pack's streaming Unpacker:
+	// repeated verification of an unchanged container (idempotent
+	// POST /v1/pack retries, warm restores of a container another
+	// entry already proved) skips the parse-and-rebuild and runs only
+	// the decode+CRC pass. Guarded by unpMu; results are read-only and
+	// never recycled, so entries may keep them.
+	unpMu sync.Mutex
+	unp   *pack.Unpacker
 
 	persistWG sync.WaitGroup // in-flight async store persists
 
@@ -114,6 +151,10 @@ type entry struct {
 	crcs      []uint32   // per-block IEEE CRC-32 of plain
 	keys      []string   // per-block content addresses, precomputed
 	hist      *Histogram // latency histogram for this entry's codec
+	// readahead holds, per block, the markov-prefetch beam's successor
+	// proposals (best first) — the score table the L2 tier coalesces
+	// reads around. nil when readahead is disabled.
+	readahead [][]cfg.BlockID
 
 	// obj is the entry's open store object, the L2 tier block misses
 	// read through. Set asynchronously after a cold build persists (or
@@ -133,10 +174,12 @@ func New(cfg Config) (*Server, error) {
 		cache = NewBlockCache(cfg.CacheShards, cfg.CacheBytes/cfg.CacheShards)
 	}
 	s := &Server{
-		cache:   cache,
-		pool:    NewPool(cfg.Workers, cfg.QueueDepth, cfg.MaxBatch),
-		metrics: NewMetrics(),
-		entries: make(map[string]*entry),
+		cache:      cache,
+		pool:       NewPool(cfg.Workers, cfg.QueueDepth, cfg.MaxBatch),
+		metrics:    NewMetrics(),
+		readaheadK: cfg.ReadaheadK,
+		entries:    make(map[string]*entry),
+		unp:        pack.NewUnpacker(),
 	}
 	if cfg.StoreDir != "" {
 		st, err := store.Open(cfg.StoreDir)
@@ -389,9 +432,15 @@ func (s *Server) handleBlock(w http.ResponseWriter, r *http.Request) {
 // blockFromStore is the L2 tier: read block id's compressed payload
 // from the entry's open store object via the container index,
 // decompress-verify it against the index CRC, and cross-check the
-// plain image CRC the entry advertises to clients. A verification
-// failure quarantines the object and detaches it so the path degrades
-// to full rebuilds instead of retrying corrupt disk forever.
+// plain image CRC the entry advertises to clients. When readahead is
+// on, the entry's prefetch scores extend the same ReadAt with the
+// blocks execution is most likely to demand next; each one that
+// verifies is admitted to the L1 cache, so the successor fetch that
+// was about to miss hits instead. All disk bytes and decode scratch
+// move through pooled buffers — the steady-state read path allocates
+// only the exact-size copies the cache keeps. A verification failure
+// quarantines the object and detaches it so the path degrades to full
+// rebuilds instead of retrying corrupt disk forever.
 func (s *Server) blockFromStore(ent *entry, id int) ([]byte, bool) {
 	obj := ent.obj.Load()
 	if obj == nil {
@@ -400,21 +449,80 @@ func (s *Server) blockFromStore(ent *entry, id int) ([]byte, bool) {
 		}
 		return nil, false
 	}
-	scratch := compress.GetBuf(len(ent.plain[id]))
-	defer func() { compress.PutBuf(scratch) }()
-	// attachObject proved the object's index CRCs equal ent.crcs, so
-	// the index verify below is also the entry-level integrity check.
-	comp, _, err := obj.VerifiedBlock(ent.codec, id, scratch[:0])
-	if err != nil {
+	detach := func() {
 		if ent.obj.CompareAndSwap(obj, nil) {
 			s.store.Quarantine(obj.Key())
 			obj.Close()
 		}
+	}
+	idx := obj.Index()
+	// Plan the coalesced span: forward readahead candidates inside the
+	// window that are not already resident, capped in compressed bytes.
+	// Candidates are distinct blocks in (id, id+window], so the stack
+	// array below is a true bound and the plan itself allocates nothing.
+	hi := id
+	var candBuf [readaheadWindowBlocks]cfg.BlockID
+	cands := candBuf[:0]
+	if len(ent.readahead) > id {
+		for _, c := range ent.readahead[id] {
+			ci := int(c)
+			if ci <= id || ci >= len(idx.Blocks) || ci-id > readaheadWindowBlocks ||
+				ci >= len(ent.keys) || len(cands) == cap(cands) ||
+				s.cache.Contains(ent.keys[ci]) {
+				continue
+			}
+			if idx.Blocks[ci].Off+idx.Blocks[ci].Len-idx.Blocks[id].Off > readaheadMaxBytes {
+				continue
+			}
+			cands = append(cands, c)
+			if ci > hi {
+				hi = ci
+			}
+		}
+	}
+	span := int(idx.Blocks[hi].Off + idx.Blocks[hi].Len - idx.Blocks[id].Off)
+	buf := compress.GetBuf(span)
+	defer func() { compress.PutBuf(buf) }()
+	buf, err := obj.ReadBlockRange(id, hi, buf[:0])
+	if err != nil {
+		detach()
 		s.metrics.StoreL2Misses.Add(1)
 		return nil, false
 	}
+	scratch := compress.GetBuf(len(ent.plain[id]))
+	defer func() { compress.PutBuf(scratch) }()
+	// attachObject proved the object's index CRCs equal ent.crcs, so
+	// the index verify below is also the entry-level integrity check.
+	comp := idx.PayloadRangeSlice(buf, 0, id, id)
+	if _, err := idx.VerifyBlock(ent.codec, id, comp, scratch[:0]); err != nil {
+		detach()
+		s.metrics.StoreL2Misses.Add(1)
+		return nil, false
+	}
+	// The cache retains values indefinitely; hand it exact-size copies
+	// and recycle the (span-sized) read buffer.
+	out := bytes.Clone(comp)
+	for _, c := range cands {
+		ci := int(c)
+		ccomp := idx.PayloadRangeSlice(buf, 0, id, ci)
+		if need := len(ent.plain[ci]); cap(scratch) < need {
+			compress.PutBuf(scratch)
+			scratch = compress.GetBuf(need)
+		}
+		if _, err := idx.VerifyBlock(ent.codec, ci, ccomp, scratch[:0]); err != nil {
+			// Speculative bytes failed verification: the object is as
+			// corrupt as if the demand read had failed.
+			detach()
+			s.metrics.StoreL2Hits.Add(1) // the demand block itself was served
+			return out, true
+		}
+		cost := ent.codec.Cost().CompressCycles(len(ent.plain[ci]))
+		if s.cache.Add(ent.keys[ci], bytes.Clone(ccomp), cost) {
+			s.metrics.StoreReadahead.Add(1)
+		}
+	}
 	s.metrics.StoreL2Hits.Add(1)
-	return comp, true
+	return out, true
 }
 
 // codecParam extracts the codec query parameter, defaulting to dict.
@@ -538,7 +646,7 @@ func (s *Server) restoreFromStore(ent *entry, workload, codecName string) bool {
 	if err != nil {
 		return false
 	}
-	p, codec, _, err := pack.Unpack(workload, container)
+	p, codec, _, err := s.verifyUnpack(workload, container)
 	if err != nil {
 		s.store.Quarantine(key)
 		return false
@@ -591,10 +699,32 @@ func (s *Server) finishEntry(ent *entry, container []byte, p *program.Program, c
 	ent.plain = plain
 	ent.crcs = crcs
 	ent.keys = keys
+	// Only blockFromStore reads the candidate table, so a store-less
+	// server skips both the beam search and the table's footprint.
+	if s.store != nil && s.readaheadK > 0 {
+		ent.readahead = readaheadCandidates(p.Graph, s.readaheadK)
+	}
 	// Resolve the histogram once so the hot path never takes the
 	// metrics mutex.
 	ent.hist = s.metrics.CodecHist(codec.Name())
 	return nil
+}
+
+// readaheadCandidates precomputes every block's prefetch proposals
+// through the markov-prefetch policy beam (path probability over the
+// CFG's edge annotations, depth readaheadDepth, width k, best first) —
+// the same scoring the embedded runtime prefetches under, reused here
+// to decide which successor payloads ride along on an L2 disk read.
+func readaheadCandidates(g *cfg.Graph, k int) [][]cfg.BlockID {
+	pol := policy.NewMarkovPrefetch[string]()
+	pol.Width = k
+	pol.Depth = readaheadDepth
+	pol.Bind(policy.Env{Graph: g})
+	out := make([][]cfg.BlockID, g.NumBlocks())
+	for id := range out {
+		out[id] = pol.PrefetchCandidates(cfg.BlockID(id), nil)
+	}
+	return out
 }
 
 // persistAsync writes a freshly-built container to the disk store
@@ -651,9 +781,26 @@ func (s *Server) buildContainer(p *program.Program, codecName string) ([]byte, *
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	up, ucodec, _, err := pack.Unpack(p.Name, container)
+	up, ucodec, _, err := s.verifyUnpack(p.Name, container)
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("service: packed container failed verification: %w", err)
 	}
 	return container, up, ucodec, nil
+}
+
+// verifyUnpack runs a full container verification through the shared
+// streaming Unpacker: an unchanged container (a client re-posting the
+// same program, a restore of a just-verified build) pays only the
+// decode+CRC pass instead of a fresh parse-and-rebuild. Results are
+// read-only and possibly shared between entries that verified the
+// same container — which is exactly how entries use them.
+// The Unpacker is used opportunistically: when another verification
+// holds it, this one runs a plain parallel Unpack instead of queueing
+// ms-scale verify work behind a global lock.
+func (s *Server) verifyUnpack(name string, container []byte) (*program.Program, compress.Codec, *pack.Info, error) {
+	if s.unpMu.TryLock() {
+		defer s.unpMu.Unlock()
+		return s.unp.Unpack(name, container)
+	}
+	return pack.Unpack(name, container)
 }

@@ -345,30 +345,44 @@ func (o *Object) Close() error { return o.f.Close() }
 // The bytes are unverified; use VerifiedBlock when the caller has no
 // checksum path of its own.
 func (o *Object) ReadBlock(i int) ([]byte, error) {
-	comp, err := o.idx.ReadPayloadAt(o.f, i)
+	return o.ReadBlockRange(i, i, nil)
+}
+
+// ReadBlockRange reads the concatenated compressed payloads of blocks
+// lo..hi (inclusive) with one ReadAt, appending to dst (which may be
+// nil, or pooled scratch for allocation-free reads) and returning the
+// extended slice. Block j's payload within the result is located with
+// o.Index().PayloadRangeSlice. This is the disk half of predictive
+// readahead: one seek serves a block and its likely successors.
+func (o *Object) ReadBlockRange(lo, hi int, dst []byte) ([]byte, error) {
+	base := len(dst)
+	out, err := o.idx.ReadPayloadRangeAt(o.f, lo, hi, dst)
 	if err != nil {
 		return nil, err
 	}
-	o.store.blockReads.Add(1)
-	o.store.blockBytes.Add(int64(len(comp)))
-	return comp, nil
+	o.store.blockReads.Add(int64(hi - lo + 1))
+	o.store.blockBytes.Add(int64(len(out) - base))
+	return out, nil
 }
 
-// VerifiedBlock reads block i's compressed payload and proves it
-// decompresses to a plain image matching the index's length and CRC,
-// appending that image to dst. It returns the payload and the grown
-// dst. A verification failure reports ErrCorrupt; the caller decides
-// whether to Quarantine.
-func (o *Object) VerifiedBlock(codec compress.Codec, i int, dst []byte) (comp, plain []byte, err error) {
-	comp, err = o.ReadBlock(i)
+// VerifiedBlock reads block i's compressed payload appending it to
+// compDst, proves it decompresses to a plain image matching the
+// index's length and CRC appending that image to plainDst, and returns
+// both grown slices. Passing pooled buffers for both makes the L2 read
+// path allocation-free (pinned by TestVerifiedBlockAllocFree). A
+// verification failure reports ErrCorrupt; the caller decides whether
+// to Quarantine.
+func (o *Object) VerifiedBlock(codec compress.Codec, i int, compDst, plainDst []byte) (comp, plain []byte, err error) {
+	base := len(compDst)
+	comp, err = o.ReadBlockRange(i, i, compDst)
 	if err != nil {
 		return nil, nil, err
 	}
-	plain, err = o.idx.VerifyBlock(codec, i, comp, dst)
+	plain, err = o.idx.VerifyBlock(codec, i, comp[base:], plainDst)
 	if err != nil {
 		return nil, nil, fmt.Errorf("%w: %s block %d: %v", ErrCorrupt, short(o.key), i, err)
 	}
-	return comp, plain, nil
+	return comp[base:], plain, nil
 }
 
 // Stats returns a snapshot of store counters and a directory census.

@@ -238,7 +238,7 @@ func TestObjectServesBlocks(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		_, plain, err := obj.VerifiedBlock(codec, i, nil)
+		_, plain, err := obj.VerifiedBlock(codec, i, nil, nil)
 		if err != nil {
 			t.Fatalf("block %d: %v", i, err)
 		}
@@ -271,5 +271,98 @@ func TestOpenRejectsV1Object(t *testing.T) {
 	}
 	if _, err := s.Open(key); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("Open(v1) err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestReadBlockRangeCoalesced: a range read must return exactly the
+// concatenation of the per-block payloads in one ReadAt, and count one
+// block read per covered block.
+func TestReadBlockRangeCoalesced(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := packSuite(t, "fft", "lzss")
+	key, err := s.Put(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := s.Open(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer obj.Close()
+	idx := obj.Index()
+	n := len(idx.Blocks)
+	before := s.Stats().BlockReads
+	buf, err := obj.ReadBlockRange(0, n-1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []byte
+	for i := 0; i < n; i++ {
+		single, err := obj.ReadBlock(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, single...)
+		if got := idx.PayloadRangeSlice(buf, 0, 0, i); !bytes.Equal(got, single) {
+			t.Fatalf("block %d payload differs between range and single read", i)
+		}
+	}
+	if !bytes.Equal(buf, want) {
+		t.Fatal("range read differs from concatenated single reads")
+	}
+	// n from the range + n singles.
+	if got := s.Stats().BlockReads - before; got != int64(2*n) {
+		t.Fatalf("block reads = %d, want %d", got, 2*n)
+	}
+	if _, err := obj.ReadBlockRange(3, 1, nil); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+}
+
+// TestVerifiedBlockAllocFree pins the zero-alloc L2 read path: with
+// pooled compressed and plain scratch, a verified block read costs no
+// allocations in steady state — the satellite budget of the decode
+// fast-path PR (the l2-index-read benchmark row tracks the same
+// number).
+func TestVerifiedBlockAllocFree(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := packSuite(t, "fft", "dict")
+	key, err := s.Put(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := s.Open(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer obj.Close()
+	idx := obj.Index()
+	codec, err := idx.NewCodec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := len(idx.Blocks) / 2
+	comps := compress.GetBuf(int(idx.Blocks[id].Len))
+	plain := compress.GetBuf(idx.Blocks[id].Words * 4)
+	defer func() {
+		compress.PutBuf(comps)
+		compress.PutBuf(plain)
+	}()
+	if _, _, err := obj.VerifiedBlock(codec, id, comps[:0], plain[:0]); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, _, err := obj.VerifiedBlock(codec, id, comps[:0], plain[:0]); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("VerifiedBlock allocs/op = %.1f, want 0", allocs)
 	}
 }
