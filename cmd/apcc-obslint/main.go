@@ -1,0 +1,69 @@
+// Command apcc-obslint validates observability artifacts: a Prometheus
+// text-exposition scrape (/metrics/prom) and/or a /debug/trace JSON
+// dump. It exits non-zero on any malformed exposition, invalid span
+// tree, or — with -min-spans — a trace dump carrying fewer spans than
+// required. The CI smoke job runs it against a live server so a broken
+// exposition or silently-dead tracing fails the build instead of a
+// dashboard.
+//
+// Usage:
+//
+//	apcc-obslint -prom metrics.txt
+//	apcc-obslint -trace trace.json -min-spans 1
+//	apcc-obslint -prom metrics.txt -trace trace.json -min-spans 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"apbcc/internal/obs"
+)
+
+func main() {
+	var (
+		promFile  = flag.String("prom", "", "Prometheus exposition file to lint")
+		traceFile = flag.String("trace", "", "/debug/trace JSON dump to lint")
+		minSpans  = flag.Int("min-spans", 0, "fail unless the trace dump carries at least this many spans")
+	)
+	flag.Parse()
+	if *promFile == "" && *traceFile == "" {
+		fatal(fmt.Errorf("nothing to lint: pass -prom and/or -trace"))
+	}
+	if *promFile != "" {
+		f, err := os.Open(*promFile)
+		if err != nil {
+			fatal(err)
+		}
+		samples, err := obs.LintProm(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", *promFile, err))
+		}
+		if samples == 0 {
+			fatal(fmt.Errorf("%s: no samples", *promFile))
+		}
+		fmt.Printf("apcc-obslint: %s: %d samples ok\n", *promFile, samples)
+	}
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		traces, spans, err := obs.LintTraceDump(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", *traceFile, err))
+		}
+		if spans < *minSpans {
+			fatal(fmt.Errorf("%s: %d spans across %d traces, want >= %d", *traceFile, spans, traces, *minSpans))
+		}
+		fmt.Printf("apcc-obslint: %s: %d traces, %d spans ok\n", *traceFile, traces, spans)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "apcc-obslint:", err)
+	os.Exit(1)
+}

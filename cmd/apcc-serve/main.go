@@ -18,14 +18,18 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
 	"strings"
 	"time"
 
+	"apbcc/internal/obs"
 	"apbcc/internal/policy"
 	"apbcc/internal/report"
 	"apbcc/internal/service"
@@ -43,6 +47,11 @@ func main() {
 		storeDir = flag.String("store", "", "content-addressed disk store directory (L2 tier + warm restarts)")
 		rahead   = flag.Int("readahead", 0, "predicted successor blocks fetched per L2 read and admitted to L1\n(0 = default of 2, negative disables; needs -store)")
 
+		traceRing = flag.Int("trace", 0, "request-trace ring capacity behind GET /debug/trace\n(0 = default of 256, negative disables tracing)")
+		debugAddr = flag.String("debug-addr", "", "separate listen address for net/http/pprof (empty disables)")
+		logLevel  = flag.String("log-level", "info", "structured log level: debug | info | warn | error")
+		logFormat = flag.String("log-format", "text", "structured log format: text | json")
+
 		loadgen  = flag.Bool("loadgen", false, "run the load generator instead of serving")
 		coldwarm = flag.Bool("coldwarm", false, "loadgen: run the cold-start/warm-restart scenario (requires -store)")
 		target   = flag.String("target", "", "loadgen target base URL (default: in-process server)")
@@ -51,10 +60,15 @@ func main() {
 		workload = flag.String("workload", "fft", "loadgen scenario list: comma-separated workload names\nassigned to clients round-robin (e.g. fft,zipf,loopphase)")
 		codec    = flag.String("codec", "dict", "loadgen block codec")
 		seed     = flag.Int64("seed", 1, "loadgen base trace seed")
+		traceOut = flag.String("trace-out", "", "loadgen: write one JSON line per block fetch (client latency +\nserver per-stage attribution) to this file ('-' for stdout)")
 	)
 	flag.Parse()
 
 	if _, err := policy.New[int](*polName); err != nil {
+		fatal(err)
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
 		fatal(err)
 	}
 	cfg := service.Config{
@@ -66,6 +80,12 @@ func main() {
 		Policy:      *polName,
 		StoreDir:    *storeDir,
 		ReadaheadK:  *rahead,
+		TraceRing:   *traceRing,
+		Log:         logger,
+	}
+
+	if *debugAddr != "" {
+		go servePprof(*debugAddr, logger)
 	}
 
 	if *coldwarm {
@@ -75,7 +95,7 @@ func main() {
 		return
 	}
 	if *loadgen {
-		if err := runLoadgen(cfg, *target, *workload, *codec, *clients, *steps, *seed); err != nil {
+		if err := runLoadgen(cfg, *target, *workload, *codec, *clients, *steps, *seed, *traceOut); err != nil {
 			fatal(err)
 		}
 		return
@@ -118,7 +138,20 @@ func main() {
 // runLoadgen replays the workload against target, or against a
 // self-hosted in-process server on a loopback port when no target is
 // given — a single-binary demo of the whole serving path.
-func runLoadgen(cfg service.Config, target, workload, codec string, clients, steps int, seed int64) error {
+func runLoadgen(cfg service.Config, target, workload, codec string, clients, steps int, seed int64, traceOut string) error {
+	var traceW io.Writer
+	switch traceOut {
+	case "":
+	case "-":
+		traceW = os.Stdout
+	default:
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		traceW = f
+	}
 	var inproc *service.Server
 	if target == "" {
 		var err error
@@ -149,6 +182,7 @@ func runLoadgen(cfg service.Config, target, workload, codec string, clients, ste
 		Clients:  clients,
 		Steps:    steps,
 		Seed:     seed,
+		TraceOut: traceW,
 	})
 	if err != nil {
 		return err
@@ -213,6 +247,23 @@ func runColdWarm(cfg service.Config, workload, codec string, clients, steps int,
 		return fmt.Errorf("scenario errors: cold=%v warm=%v", stats.Cold.FirstError, stats.Warm.FirstError)
 	}
 	return nil
+}
+
+// servePprof runs the net/http/pprof handlers on their own listener —
+// a separate address so profiling endpoints are never exposed on the
+// serving port.
+func servePprof(addr string, log *slog.Logger) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	log.Info("pprof listening", "addr", addr)
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Error("pprof server failed", "err", err)
+	}
 }
 
 func fatal(err error) {

@@ -9,6 +9,7 @@ package pack
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -18,6 +19,7 @@ import (
 	"apbcc/internal/cfg"
 	"apbcc/internal/compress"
 	"apbcc/internal/isa"
+	"apbcc/internal/obs"
 )
 
 // IndexEntry locates one block's compressed payload inside a v2
@@ -274,6 +276,24 @@ func (x *Index) VerifyBlock(codec compress.Codec, i int, comp, dst []byte) ([]by
 		return out[:start], fmt.Errorf("%w: block %d: %#x != %#x", ErrBadChecksum, i, crc, e.CRC)
 	}
 	return out, nil
+}
+
+// VerifyBlockCtx is VerifyBlock with the decode timed as a StageDecode
+// span on the context's trace (outcome "ok" or "corrupt"). With no
+// trace attached it costs exactly a VerifyBlock call.
+func (x *Index) VerifyBlockCtx(ctx context.Context, codec compress.Codec, i int, comp, dst []byte) ([]byte, error) {
+	tr := obs.FromContext(ctx)
+	if tr == nil {
+		return x.VerifyBlock(codec, i, comp, dst)
+	}
+	sp := tr.Begin(obs.StageDecode)
+	out, err := x.VerifyBlock(codec, i, comp, dst)
+	if err != nil {
+		sp.End(obs.OutcomeCorrupt)
+	} else {
+		sp.End(obs.OutcomeOK)
+	}
+	return out, err
 }
 
 // validProb reports whether an edge probability deserialized from a

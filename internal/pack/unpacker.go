@@ -16,10 +16,22 @@ package pack
 import (
 	"bytes"
 	"hash/crc32"
+	"sync/atomic"
+	"time"
 
 	"apbcc/internal/compress"
 	"apbcc/internal/program"
 )
+
+// VerifyStats counts an Unpacker's work for metrics exposition: how
+// many unpacks took the cached-skeleton fast path versus a full parse,
+// and the total time spent. Exposed as apcc_verify_unpacks_total{mode}
+// and apcc_verify_unpack_seconds_total.
+type VerifyStats struct {
+	Full   int64 // unpacks that ran the full metadata parse
+	Reused int64 // unpacks satisfied by the cached-skeleton redecode
+	NS     int64 // cumulative nanoseconds across both paths
+}
 
 // Unpacker is a reusing Unpack. It is not safe for concurrent use
 // (callers that share one — the serving tier's verification path —
@@ -36,6 +48,25 @@ type Unpacker struct {
 	prog    *program.Program
 	info    Info
 	scratch []byte // reusable decompression buffer
+
+	// Counters are atomic — Stats may be scraped while another
+	// goroutine holds the caller's Unpack lock.
+	full   atomic.Int64
+	reused atomic.Int64
+	ns     atomic.Int64
+}
+
+// Stats snapshots the Unpacker's verification counters. Safe to call
+// concurrently with Unpack.
+func (u *Unpacker) Stats() VerifyStats {
+	if u == nil {
+		return VerifyStats{}
+	}
+	return VerifyStats{
+		Full:   u.full.Load(),
+		Reused: u.reused.Load(),
+		NS:     u.ns.Load(),
+	}
 }
 
 // NewUnpacker returns an empty Unpacker; the first Unpack call fills
@@ -51,10 +82,14 @@ func NewUnpacker() *Unpacker { return &Unpacker{} }
 // bar the full path's finalize applies. Any mismatch falls back to a
 // full parse, whose result (or error) is authoritative.
 func (u *Unpacker) Unpack(name string, data []byte) (*program.Program, compress.Codec, *Info, error) {
+	start := time.Now()
+	defer func() { u.ns.Add(int64(time.Since(start))) }()
 	if u.prog != nil && name == u.name && u.matches(data) && u.redecode(data) {
+		u.reused.Add(1)
 		info := u.info
 		return u.prog, u.codec, &info, nil
 	}
+	u.full.Add(1)
 	p, codec, info, err := Unpack(name, data)
 	if err != nil {
 		return nil, nil, nil, err

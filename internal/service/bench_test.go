@@ -11,6 +11,7 @@ import (
 
 	"apbcc/internal/cfg"
 	"apbcc/internal/compress"
+	"apbcc/internal/obs"
 	"apbcc/internal/pack"
 	"apbcc/internal/program"
 	"apbcc/internal/store"
@@ -197,6 +198,43 @@ func BenchmarkBlockSource(b *testing.B) {
 				if _, hit, _ := c.GetOrCompute(k, nil); !hit {
 					b.Fatal("not a hit")
 				}
+			}
+		})
+		b.Run(codecName+"/l1-hit-nosink", func(b *testing.B) {
+			// The context-carrying entry point with tracing disabled (no
+			// trace in the context): must match l1-hit — zero allocations
+			// and within noise on ns/op. This is what every request pays
+			// when the operator runs without -trace.
+			c := NewBlockCache(1, 1<<20)
+			k := BlockAddress(codecName, nil, img)
+			ctx := context.Background()
+			c.GetOrComputeCost(ctx, k, func() ([]byte, int64, error) { return img, 1, nil })
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, hit, _ := c.GetOrComputeCost(ctx, k, nil); !hit {
+					b.Fatal("not a hit")
+				}
+			}
+		})
+		b.Run(codecName+"/l1-hit-traced", func(b *testing.B) {
+			// Full per-request tracing: trace from the recorder pool, span
+			// around the hit, finish + record back into the ring. The
+			// delta over l1-hit-nosink is the whole observability tax.
+			c := NewBlockCache(1, 1<<20)
+			k := BlockAddress(codecName, nil, img)
+			rec := obs.NewRecorder(256, 8)
+			c.GetOrComputeCost(context.Background(), k, func() ([]byte, int64, error) { return img, 1, nil })
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr := rec.StartTrace()
+				ctx := obs.WithTrace(context.Background(), tr)
+				if _, hit, _ := c.GetOrComputeCost(ctx, k, nil); !hit {
+					b.Fatal("not a hit")
+				}
+				tr.Finish(obs.OutcomeHit)
+				rec.Record(tr)
 			}
 		})
 		b.Run(codecName+"/l2-index-read", func(b *testing.B) {

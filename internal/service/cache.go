@@ -1,14 +1,23 @@
 package service
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
 	"fmt"
 	"sync"
 
+	"apbcc/internal/obs"
 	"apbcc/internal/policy"
 )
+
+// stormThreshold is the eviction count at which one insert counts as an
+// eviction storm: a single fill displacing this many residents means
+// the shard is badly undersized for the working set (or one giant value
+// churned it), which operators want surfaced as a structured log event
+// rather than discovered later in hit-rate decay.
+const stormThreshold = 8
 
 // BlockAddress computes the content address of a compressed-block cache
 // entry: SHA-256 over the codec name, a digest of the serialized codec
@@ -79,6 +88,18 @@ type BlockCache struct {
 	polName string
 }
 
+// SetEvictionStormFn installs a callback invoked (outside shard locks)
+// whenever a single insert evicts at least stormThreshold entries.
+// Call before serving traffic; the serving tier wires this to a
+// structured log warning.
+func (c *BlockCache) SetEvictionStormFn(fn func(key string, evicted int)) {
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		sh.onStorm = fn
+		sh.mu.Unlock()
+	}
+}
+
 // NewBlockCache creates a cache with the given shard count (rounded up
 // to at least 1) and per-shard byte capacity, evicting LRU (the klru
 // policy with expiry disabled).
@@ -132,7 +153,7 @@ func (c *BlockCache) Policy() string { return c.polName }
 // in as its re-production cost; cost-sensitive callers use
 // GetOrComputeCost.
 func (c *BlockCache) GetOrCompute(key string, compute func() ([]byte, error)) (val []byte, hit bool, err error) {
-	return c.shard(key).getOrCompute(key, func() ([]byte, int64, error) {
+	return c.shard(key).getOrCompute(nil, key, func() ([]byte, int64, error) {
 		v, err := compute()
 		return v, int64(len(v)), err
 	})
@@ -141,9 +162,11 @@ func (c *BlockCache) GetOrCompute(key string, compute func() ([]byte, error)) (v
 // GetOrComputeCost is GetOrCompute for computes that know what a miss
 // costs (e.g. the modeled compression cycles of the block): cost-aware
 // replacement policies keep expensive-to-rebuild payloads resident
-// longer.
-func (c *BlockCache) GetOrComputeCost(key string, compute func() ([]byte, int64, error)) (val []byte, hit bool, err error) {
-	return c.shard(key).getOrCompute(key, compute)
+// longer. The lookup — and, on a miss, the compute — is timed as a
+// StageL1 span on ctx's trace (outcome hit/miss/coalesced); with no
+// trace attached the call costs exactly what it did untraced.
+func (c *BlockCache) GetOrComputeCost(ctx context.Context, key string, compute func() ([]byte, int64, error)) (val []byte, hit bool, err error) {
+	return c.shard(key).getOrCompute(obs.FromContext(ctx), key, compute)
 }
 
 // Get returns the cached value for key, if resident. It does not count
@@ -173,11 +196,17 @@ func (c *BlockCache) Contains(key string) bool {
 func (c *BlockCache) Add(key string, val []byte, cost int64) bool {
 	sh := c.shard(key)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	if _, ok := sh.items[key]; ok {
+		sh.mu.Unlock()
 		return false
 	}
-	return sh.insert(key, val, cost)
+	admitted, evicted := sh.insert(key, val, cost)
+	storm := sh.onStorm
+	sh.mu.Unlock()
+	if storm != nil && evicted >= stormThreshold {
+		storm(key, evicted)
+	}
+	return admitted
 }
 
 // Stats aggregates statistics across shards.
@@ -228,6 +257,7 @@ type cacheShard struct {
 	pol      policy.Policy[string]
 	items    map[string][]byte
 	inflight map[string]*flight
+	onStorm  func(key string, evicted int) // invoked outside the lock
 
 	hits, misses, coalesced, evictions int64
 }
@@ -248,12 +278,17 @@ func (s *cacheShard) get(key string) ([]byte, bool) {
 	return nil, false
 }
 
-func (s *cacheShard) getOrCompute(key string, compute func() ([]byte, int64, error)) ([]byte, bool, error) {
+func (s *cacheShard) getOrCompute(tr *obs.Trace, key string, compute func() ([]byte, int64, error)) ([]byte, bool, error) {
+	// One StageL1 span covers the whole call: lookup on a hit, lookup +
+	// compute on a miss (the compute's own spans nest under it). tr is
+	// nil when tracing is off — Begin/End are then free no-ops.
+	sp := tr.Begin(obs.StageL1)
 	s.mu.Lock()
 	if val, ok := s.items[key]; ok {
 		s.pol.OnAccess(key, s.tick())
 		s.hits++
 		s.mu.Unlock()
+		sp.End(obs.OutcomeHit)
 		return val, true, nil
 	}
 	if fl, ok := s.inflight[key]; ok {
@@ -266,11 +301,13 @@ func (s *cacheShard) getOrCompute(key string, compute func() ([]byte, int64, err
 			s.mu.Lock()
 			s.misses++
 			s.mu.Unlock()
+			sp.End(obs.OutcomeError)
 			return nil, false, fl.err
 		}
 		s.mu.Lock()
 		s.coalesced++
 		s.mu.Unlock()
+		sp.End(obs.OutcomeCoalesced)
 		return fl.val, true, nil
 	}
 	fl := &flight{done: make(chan struct{})}
@@ -281,13 +318,23 @@ func (s *cacheShard) getOrCompute(key string, compute func() ([]byte, int64, err
 	var cost int64
 	fl.val, cost, fl.err = safeCompute(compute)
 
+	var evicted int
 	s.mu.Lock()
 	delete(s.inflight, key)
 	if fl.err == nil {
-		s.insert(key, fl.val, cost)
+		_, evicted = s.insert(key, fl.val, cost)
 	}
+	storm := s.onStorm
 	s.mu.Unlock()
 	close(fl.done)
+	if fl.err != nil {
+		sp.End(obs.OutcomeError)
+	} else {
+		sp.End(obs.OutcomeMiss)
+	}
+	if storm != nil && evicted >= stormThreshold {
+		storm(key, evicted)
+	}
 	return fl.val, false, fl.err
 }
 
@@ -305,21 +352,23 @@ func safeCompute(compute func() ([]byte, int64, error)) (val []byte, cost int64,
 }
 
 // insert adds an entry and asks the policy for victims until the shard
-// fits its capacity, reporting whether the value was actually admitted.
-// Values larger than the whole shard are not cached at all (admitting
-// them would just flush everything else), and the policy may veto
-// admission outright. Caller holds the lock.
-func (s *cacheShard) insert(key string, val []byte, cost int64) bool {
+// fits its capacity, reporting whether the value was actually admitted
+// and how many residents it displaced (callers compare that against
+// stormThreshold outside the lock). Values larger than the whole shard
+// are not cached at all (admitting them would just flush everything
+// else), and the policy may veto admission outright. Caller holds the
+// lock.
+func (s *cacheShard) insert(key string, val []byte, cost int64) (admitted bool, evicted int) {
 	if len(val) > s.capacity {
-		return false
+		return false, 0
 	}
 	if _, ok := s.items[key]; ok { // lost a race with another insert
 		s.pol.OnAccess(key, s.tick())
-		return false
+		return false, 0
 	}
 	meta := policy.Meta{Bytes: len(val), Cost: cost}
 	if !s.pol.Admit(key, meta) {
-		return false
+		return false, 0
 	}
 	now := s.tick()
 	s.items[key] = val
@@ -340,8 +389,9 @@ func (s *cacheShard) insert(key string, val []byte, cost int64) bool {
 			break
 		}
 		s.evictions++
+		evicted++
 	}
-	return true
+	return true, evicted
 }
 
 // removeLocked drops one entry, reporting whether any bytes were

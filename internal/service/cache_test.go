@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -277,7 +278,7 @@ func TestCacheCostAwarePolicy(t *testing.T) {
 	}
 	add := func(key string, cost int64) {
 		t.Helper()
-		if _, _, err := c.GetOrComputeCost(key, func() ([]byte, int64, error) {
+		if _, _, err := c.GetOrComputeCost(context.Background(), key, func() ([]byte, int64, error) {
 			return []byte("1234"), cost, nil
 		}); err != nil {
 			t.Fatal(err)

@@ -3,6 +3,7 @@ package service
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -38,6 +39,69 @@ type LoadConfig struct {
 	// Client optionally overrides the HTTP client (tests inject the
 	// httptest server's client).
 	Client *http.Client
+	// TraceOut, when non-nil, receives one JSON line per block fetch
+	// with the server's trace id and per-stage attribution parsed from
+	// the X-Apcc-Trace / X-Apcc-Stages response headers — the raw
+	// material for offline latency analysis. Writes are serialized
+	// internally; any io.Writer works.
+	TraceOut io.Writer
+}
+
+// FetchRecord is one -trace-out JSONL line: a single block fetch as
+// the client saw it, joined with the server's stage attribution.
+type FetchRecord struct {
+	Client   int              `json:"client"`
+	Workload string           `json:"workload"`
+	Block    int              `json:"block"`
+	Codec    string           `json:"codec"`
+	TotalNS  int64            `json:"total_ns"`         // client-observed fetch latency
+	Cache    string           `json:"cache,omitempty"`  // X-Apcc-Cache: hit | miss
+	TraceID  uint64           `json:"trace,omitempty"`  // X-Apcc-Trace (0 if tracing off)
+	Stages   map[string]int64 `json:"stages,omitempty"` // stage -> exclusive ns, from X-Apcc-Stages
+	Err      string           `json:"err,omitempty"`
+}
+
+// traceSink serializes FetchRecord JSONL writes from all clients.
+type traceSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+func newTraceSink(w io.Writer) *traceSink {
+	if w == nil {
+		return nil
+	}
+	return &traceSink{enc: json.NewEncoder(w)}
+}
+
+func (s *traceSink) write(rec *FetchRecord) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.enc.Encode(rec)
+	s.mu.Unlock()
+}
+
+// parseStagesHeader decodes the X-Apcc-Stages "stage:ns;..." form;
+// malformed segments are skipped rather than failing the fetch.
+func parseStagesHeader(h string) map[string]int64 {
+	if h == "" {
+		return nil
+	}
+	out := make(map[string]int64)
+	for _, part := range strings.Split(h, ";") {
+		stage, nsText, ok := strings.Cut(part, ":")
+		if !ok {
+			continue
+		}
+		ns, err := strconv.ParseInt(nsText, 10, 64)
+		if err != nil {
+			continue
+		}
+		out[stage] += ns // repeated stages (e.g. two decode spans) sum
+	}
+	return out
 }
 
 // LoadStats aggregates a load run.
@@ -97,6 +161,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadStats, error) {
 	}
 
 	stats := &LoadStats{Clients: cfg.Clients, Latency: &Histogram{}}
+	sink := newTraceSink(cfg.TraceOut)
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -104,7 +169,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadStats, error) {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			cs, err := runClient(ctx, client, cfg, scenarios[id%len(scenarios)], cfg.Seed+int64(id), stats.Latency)
+			cs, err := runClient(ctx, client, cfg, scenarios[id%len(scenarios)], id, stats.Latency, sink)
 			mu.Lock()
 			defer mu.Unlock()
 			stats.Requests += cs.requests
@@ -133,8 +198,9 @@ type clientStats struct {
 
 // runClient is one simulated device: fetch container, verify, replay
 // its assigned scenario.
-func runClient(ctx context.Context, client *http.Client, cfg LoadConfig, workload string, seed int64, lat *Histogram) (clientStats, error) {
+func runClient(ctx context.Context, client *http.Client, cfg LoadConfig, workload string, id int, lat *Histogram, sink *traceSink) (clientStats, error) {
 	var cs clientStats
+	seed := cfg.Seed + int64(id)
 	url := fmt.Sprintf("%s/v1/pack/%s?codec=%s", cfg.BaseURL, workload, cfg.Codec)
 	body, _, err := fetch(ctx, client, url)
 	if err != nil {
@@ -172,12 +238,24 @@ func runClient(ctx context.Context, client *http.Client, cfg LoadConfig, workloa
 		url := fmt.Sprintf("%s/v1/block/%s/%d?codec=%s", cfg.BaseURL, workload, blockID, cfg.Codec)
 		t0 := time.Now()
 		payload, hdr, err := fetch(ctx, client, url)
-		lat.Observe(time.Since(t0))
+		elapsed := time.Since(t0)
+		lat.Observe(elapsed)
 		cs.requests++
+		var rec *FetchRecord
+		if sink != nil {
+			rec = &FetchRecord{
+				Client: id, Workload: workload, Block: int(blockID),
+				Codec: cfg.Codec, TotalNS: int64(elapsed),
+			}
+		}
 		if err != nil {
 			cs.errors++
 			if cs.firstError == nil {
 				cs.firstError = err
+			}
+			if rec != nil {
+				rec.Err = err.Error()
+				sink.write(rec)
 			}
 			continue
 		}
@@ -192,6 +270,15 @@ func runClient(ctx context.Context, client *http.Client, cfg LoadConfig, workloa
 			if cs.firstError == nil {
 				cs.firstError = fmt.Errorf("block %d: %w", blockID, verr)
 			}
+		}
+		if rec != nil {
+			rec.Cache = hdr.Get(HeaderCache)
+			rec.TraceID, _ = strconv.ParseUint(hdr.Get(HeaderTrace), 10, 64)
+			rec.Stages = parseStagesHeader(hdr.Get(HeaderStages))
+			if verr != nil {
+				rec.Err = verr.Error()
+			}
+			sink.write(rec)
 		}
 	}
 	return cs, nil

@@ -14,9 +14,15 @@ import (
 )
 
 // histBounds are the latency bucket upper bounds. The last bucket is
-// open-ended. Spacing is roughly logarithmic from 50µs to 1s, covering
-// cache hits at the bottom and cold whole-container packs at the top.
+// open-ended. Spacing is roughly logarithmic from 1µs to 1s: the
+// sub-50µs buckets resolve per-stage attribution (an L1 lookup or a
+// single-block decode is microseconds), the top covers cold
+// whole-container packs.
 var histBounds = []time.Duration{
+	1 * time.Microsecond,
+	5 * time.Microsecond,
+	10 * time.Microsecond,
+	25 * time.Microsecond,
 	50 * time.Microsecond,
 	100 * time.Microsecond,
 	250 * time.Microsecond,
@@ -34,7 +40,7 @@ var histBounds = []time.Duration{
 }
 
 // numBuckets is len(histBounds) plus the open-ended overflow bucket.
-const numBuckets = 15
+const numBuckets = 19
 
 // Histogram is a fixed-bucket latency histogram safe for concurrent
 // observation. Observations beyond the last bound land in an overflow
@@ -75,11 +81,16 @@ func (h *Histogram) Mean() time.Duration {
 	return time.Duration(h.sumNS.Load() / n)
 }
 
-// Quantile approximates the q-quantile (0 < q <= 1) as the upper bound
-// of the bucket holding the q-th observation. A quantile landing in the
-// open-ended overflow bucket reports the largest overflow observation
-// actually seen — never the last bound, which would silently understate
-// pathological tails.
+// Quantile approximates the q-quantile (0 < q <= 1) by linear
+// interpolation within the bucket holding the q-th observation:
+// assuming observations spread uniformly across a bucket, the value
+// sits at lower + (rank position within bucket)/(bucket count) of the
+// bucket's width. Reporting the raw upper bound instead would
+// overstate the quantile by up to one full bucket width (a p50 of
+// 30µs in the 25µs..50µs bucket used to print as 50µs). A quantile
+// landing in the open-ended overflow bucket reports the largest
+// overflow observation actually seen — never the last bound, which
+// would silently understate pathological tails.
 func (h *Histogram) Quantile(q float64) time.Duration {
 	n := h.n.Load()
 	if n == 0 {
@@ -91,15 +102,36 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	}
 	var seen int64
 	for i := range h.counts {
-		seen += h.counts[i].Load()
-		if seen >= rank {
-			if i < len(histBounds) {
-				return histBounds[i]
+		c := h.counts[i].Load()
+		if c > 0 && seen+c >= rank {
+			if i >= len(histBounds) {
+				return h.overflowMax()
 			}
-			return h.overflowMax()
+			var lower time.Duration
+			if i > 0 {
+				lower = histBounds[i-1]
+			}
+			upper := histBounds[i]
+			frac := float64(rank-seen) / float64(c)
+			return lower + time.Duration(frac*float64(upper-lower))
 		}
+		seen += c
 	}
 	return h.overflowMax()
+}
+
+// snapshot copies the bucket counts (cumulative) and total sum for
+// exposition. The exposed _count is the cumulative total of the
+// buckets themselves — not n, which a racing Observe could have
+// advanced past the bucket increments we saw — so the +Inf bucket and
+// _count always agree, as the exposition format requires.
+func (h *Histogram) snapshot() (cum [numBuckets]int64, sumNS int64) {
+	var running int64
+	for i := range h.counts {
+		running += h.counts[i].Load()
+		cum[i] = running
+	}
+	return cum, h.sumNS.Load()
 }
 
 // overflowMax reports the largest observation beyond the last bound,
@@ -131,38 +163,107 @@ type Metrics struct {
 	StoreL2Misses  atomic.Int64 // L1 block misses that fell back to a full rebuild
 	StoreReadahead atomic.Int64 // predicted successor blocks admitted to L1 by coalesced readahead
 
-	mu       sync.Mutex
+	// Histogram maps use an RWMutex with a read-locked fast path: the
+	// maps only ever grow (codec and stage universes are tiny and
+	// fixed), so after warmup every lookup is an RLock + map read —
+	// no allocation, no exclusive lock, no boxing (sync.Map's any-keyed
+	// Load would heap-allocate the key on every call). Pinned by
+	// TestMetricsLookupAllocFree.
+	mu       sync.RWMutex
 	perCodec map[string]*Histogram
+
+	stageMu  sync.RWMutex
+	perStage map[StageKey]*Histogram
+}
+
+// StageKey identifies one per-stage latency series: where the time
+// went (obs stage name), under which codec, with what outcome.
+type StageKey struct {
+	Stage, Codec, Outcome string
 }
 
 // NewMetrics creates an empty metrics set.
 func NewMetrics() *Metrics {
-	return &Metrics{start: time.Now(), perCodec: make(map[string]*Histogram)}
+	return &Metrics{
+		start:    time.Now(),
+		perCodec: make(map[string]*Histogram),
+		perStage: make(map[StageKey]*Histogram),
+	}
 }
 
 // CodecHist returns (creating if needed) the latency histogram for a
-// codec.
+// codec. The resident-codec path takes only a read lock and does not
+// allocate.
 func (m *Metrics) CodecHist(codec string) *Histogram {
+	m.mu.RLock()
+	h, ok := m.perCodec[codec]
+	m.mu.RUnlock()
+	if ok {
+		return h
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	h, ok := m.perCodec[codec]
-	if !ok {
-		h = &Histogram{}
-		m.perCodec[codec] = h
+	if h, ok := m.perCodec[codec]; ok {
+		return h
 	}
+	h = &Histogram{}
+	m.perCodec[codec] = h
+	return h
+}
+
+// StageHist returns (creating if needed) the per-stage histogram for
+// {stage, codec, outcome} — the series behind
+// apcc_block_stage_seconds. Same RWMutex fast path as CodecHist.
+func (m *Metrics) StageHist(stage, codec, outcome string) *Histogram {
+	k := StageKey{Stage: stage, Codec: codec, Outcome: outcome}
+	m.stageMu.RLock()
+	h, ok := m.perStage[k]
+	m.stageMu.RUnlock()
+	if ok {
+		return h
+	}
+	m.stageMu.Lock()
+	defer m.stageMu.Unlock()
+	if h, ok := m.perStage[k]; ok {
+		return h
+	}
+	h = &Histogram{}
+	m.perStage[k] = h
 	return h
 }
 
 // codecNames returns the codecs with histograms, sorted.
 func (m *Metrics) codecNames() []string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
 	names := make([]string, 0, len(m.perCodec))
 	for name := range m.perCodec {
 		names = append(names, name)
 	}
+	m.mu.RUnlock()
 	sort.Strings(names)
 	return names
+}
+
+// stageKeys returns the populated stage series, sorted for stable
+// exposition order.
+func (m *Metrics) stageKeys() []StageKey {
+	m.stageMu.RLock()
+	keys := make([]StageKey, 0, len(m.perStage))
+	for k := range m.perStage {
+		keys = append(keys, k)
+	}
+	m.stageMu.RUnlock()
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Stage != b.Stage {
+			return a.Stage < b.Stage
+		}
+		if a.Codec != b.Codec {
+			return a.Codec < b.Codec
+		}
+		return a.Outcome < b.Outcome
+	})
+	return keys
 }
 
 // WriteTables renders the metrics through internal/report. st carries

@@ -62,7 +62,7 @@ func TestReadaheadAdmitsPredictedSuccessors(t *testing.T) {
 			break
 		}
 	}
-	comp, hit := s.blockFromStore(ent, id)
+	comp, hit := s.blockFromStore(context.Background(), ent, id)
 	if !hit || len(comp) == 0 {
 		t.Fatalf("blockFromStore(%d) missed", id)
 	}
@@ -81,7 +81,7 @@ func TestReadaheadAdmitsPredictedSuccessors(t *testing.T) {
 	}
 	// A second read of the same block plans the same candidates but
 	// finds them resident: no further admissions.
-	if _, hit := s.blockFromStore(ent, id); !hit {
+	if _, hit := s.blockFromStore(context.Background(), ent, id); !hit {
 		t.Fatal("second blockFromStore missed")
 	}
 	if got := s.metrics.StoreReadahead.Load(); got != admitted {
@@ -101,7 +101,7 @@ func TestReadaheadDisabled(t *testing.T) {
 	if ent.readahead != nil {
 		t.Fatal("readahead table built with readahead disabled")
 	}
-	if _, hit := s.blockFromStore(ent, 0); !hit {
+	if _, hit := s.blockFromStore(context.Background(), ent, 0); !hit {
 		t.Fatal("blockFromStore missed")
 	}
 	if got := s.metrics.StoreReadahead.Load(); got != 0 {

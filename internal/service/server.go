@@ -3,10 +3,12 @@ package service
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -18,6 +20,7 @@ import (
 	"apbcc/internal/cfg"
 	"apbcc/internal/compress"
 	"apbcc/internal/isa"
+	"apbcc/internal/obs"
 	"apbcc/internal/pack"
 	"apbcc/internal/policy"
 	"apbcc/internal/program"
@@ -32,6 +35,12 @@ const (
 	HeaderWords = "X-Apcc-Words" // plain size in ERI32 words
 	HeaderCRC   = "X-Apcc-Crc32" // IEEE CRC-32 of the plain block image
 	HeaderCache = "X-Apcc-Cache" // hit | miss
+	// HeaderTrace and HeaderStages are only set when tracing is enabled:
+	// the request's trace id (correlate with /debug/trace) and its
+	// per-stage exclusive nanoseconds as "stage:ns;..." — everything but
+	// the response write, which is still open when headers go out.
+	HeaderTrace  = "X-Apcc-Trace"
+	HeaderStages = "X-Apcc-Stages"
 )
 
 // maxAsmBody bounds POST /v1/pack request bodies.
@@ -69,6 +78,18 @@ type Config struct {
 	// the default of 2; negative disables readahead. Only meaningful
 	// with StoreDir set.
 	ReadaheadK int
+	// TraceRing is the capacity of the completed-request trace ring
+	// behind GET /debug/trace. 0 selects the default of 256; negative
+	// disables tracing entirely, leaving block serving on the nil-sink
+	// fast path (no clock reads, no allocations).
+	TraceRing int
+	// TraceExemplars is how many slowest-request traces survive ring
+	// recycling as exemplars (default 8). Only meaningful with tracing
+	// enabled.
+	TraceExemplars int
+	// Log receives the server's structured events (request debug lines,
+	// quarantines, eviction storms). nil discards everything.
+	Log *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -92,6 +113,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ReadaheadK < 0 {
 		c.ReadaheadK = 0
+	}
+	if c.TraceRing == 0 {
+		c.TraceRing = 256
+	}
+	if c.TraceRing < 0 {
+		c.TraceRing = 0
+	}
+	if c.TraceExemplars <= 0 {
+		c.TraceExemplars = 8
+	}
+	if c.Log == nil {
+		c.Log = obs.Discard
 	}
 	return c
 }
@@ -118,6 +151,8 @@ type Server struct {
 	store      *store.Store // nil when no StoreDir was configured
 	readaheadK int          // predicted successors fetched per L2 read (0 = off)
 	handler    http.Handler
+	rec        *obs.Recorder // nil when tracing is disabled
+	log        *slog.Logger  // never nil (obs.Discard by default)
 
 	mu      sync.Mutex
 	entries map[string]*entry
@@ -180,7 +215,15 @@ func New(cfg Config) (*Server, error) {
 		readaheadK: cfg.ReadaheadK,
 		entries:    make(map[string]*entry),
 		unp:        pack.NewUnpacker(),
+		log:        cfg.Log,
 	}
+	if cfg.TraceRing > 0 {
+		s.rec = obs.NewRecorder(cfg.TraceRing, cfg.TraceExemplars)
+	}
+	cache.SetEvictionStormFn(func(key string, evicted int) {
+		s.log.Warn("cache eviction storm: one insert displaced many residents",
+			"key", shortKey(key), "evicted", evicted)
+	})
 	if cfg.StoreDir != "" {
 		st, err := store.Open(cfg.StoreDir)
 		if err != nil {
@@ -192,6 +235,8 @@ func New(cfg Config) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics/prom", s.handleMetricsProm)
+	mux.HandleFunc("GET /debug/trace", s.handleTrace)
 	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	mux.HandleFunc("GET /v1/codecs", s.handleCodecs)
 	mux.HandleFunc("GET /v1/pack/{workload}", s.handlePackWorkload)
@@ -287,6 +332,53 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.metrics.WriteTables(w, s.cache.Stats(), s.pool.Stats(), st, csv)
 }
 
+// handleMetricsProm serves the same counters as /metrics, plus the
+// per-stage attribution histograms, in Prometheus text exposition.
+func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var st *store.Stats
+	if s.store != nil {
+		ss := s.store.Stats()
+		st = &ss
+	}
+	s.metrics.WriteProm(w, s.cache.Stats(), s.pool.Stats(), st, s.unp.Stats(), s.rec)
+}
+
+// handleTrace dumps the trace ring as JSON: the n most recent request
+// traces (default 100) plus the slowest-K exemplars.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if s.rec == nil {
+		http.Error(w, "tracing disabled (Config.TraceRing < 0)", http.StatusNotFound)
+		return
+	}
+	n := 100
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			http.Error(w, fmt.Sprintf("bad n %q", q), http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	d := obs.Dump{Traces: s.rec.Snapshot(n), Exemplars: s.rec.Exemplars()}
+	if d.Traces == nil {
+		d.Traces = []obs.Record{}
+	}
+	if d.Exemplars == nil {
+		d.Exemplars = []obs.Record{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(d)
+}
+
+// shortKey truncates a content address for log lines.
+func shortKey(key string) string {
+	if len(key) > 12 {
+		return key[:12]
+	}
+	return key
+}
+
 func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 	// The suite is deterministic; synthesize and render it once.
 	s.workloadsOnce.Do(func() {
@@ -367,34 +459,49 @@ func (s *Server) handlePackAsm(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleBlock(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	ent, status, err := s.entryFor(r.Context(), r.PathValue("workload"), codecParam(r))
+	// With tracing disabled (nil recorder) tr is nil and every obs call
+	// below is a free no-op: the hot path costs what it did untraced
+	// (pinned by BenchmarkBlockSource l1-hit and TestTracedPathAllocs).
+	tr := s.rec.StartTrace()
+	rsp := tr.Begin(obs.StageRoute)
+	ctx := obs.WithTrace(r.Context(), tr)
+	ent, status, err := s.entryFor(ctx, r.PathValue("workload"), codecParam(r))
 	if err != nil {
+		rsp.End(obs.OutcomeError)
+		s.finishTrace(tr, obs.OutcomeError)
 		http.Error(w, err.Error(), status)
 		return
 	}
 	id, err := strconv.Atoi(r.PathValue("id"))
 	if err != nil || id < 0 || id >= len(ent.plain) {
+		rsp.End(obs.OutcomeError)
+		s.finishTrace(tr, obs.OutcomeError)
 		http.Error(w, fmt.Sprintf("no block %q (%d blocks)", r.PathValue("id"), len(ent.plain)),
 			http.StatusNotFound)
 		return
 	}
+	tr.SetLabels(r.PathValue("workload"), ent.codec.Name(), id)
 	plain := ent.plain[id]
 	// The modeled compression cost is what a miss on this key costs
 	// the server; cost-aware replacement weighs it against the bytes.
 	missCost := ent.codec.Cost().CompressCycles(len(plain))
-	payload, hit, err := s.cache.GetOrComputeCost(ent.keys[id], func() ([]byte, int64, error) {
+	compute := func() ([]byte, int64, error) {
+		// This compute runs synchronously on the request goroutine (the
+		// singleflight leader), so it may use ctx's trace; the pool fn
+		// below runs on a worker and must not.
 		// L2 first: one ReadAt through the container index plus a
 		// decompress-verify is far cheaper than re-running the
 		// compressor on the plain image.
-		if comp, ok := s.blockFromStore(ent, id); ok {
+		if comp, ok := s.blockFromStore(ctx, ent, id); ok {
 			return comp, missCost, nil
 		}
 		// Full rebuild. Detach from the request context: coalesced
 		// waiters depend on this compute, so the leader disconnecting
 		// must not fail it.
-		ctx := context.WithoutCancel(r.Context())
+		bctx := context.WithoutCancel(ctx)
 		var comp []byte
-		err := s.pool.Do(ctx, func() error {
+		rbsp := tr.Begin(obs.StageRebuild)
+		err := s.pool.Do(bctx, func() error {
 			// Compress into pooled scratch; the cache retains values
 			// indefinitely, so it gets an exact-size copy and the
 			// (worst-case-sized) scratch goes back to the pool.
@@ -408,12 +515,31 @@ func (s *Server) handleBlock(w http.ResponseWriter, r *http.Request) {
 			compress.PutBuf(out)
 			return nil
 		})
+		if err != nil {
+			rbsp.End(obs.OutcomeError)
+		} else {
+			rbsp.End(obs.OutcomeOK)
+		}
 		return comp, missCost, err
-	})
+	}
+	// The closure allocation above stays inside the route span so the
+	// hand-off to the cache leaves only call overhead unattributed.
+	rsp.End(obs.OutcomeOK)
+	payload, hit, err := s.cache.GetOrComputeCost(ctx, ent.keys[id], compute)
 	if err != nil {
+		s.finishTrace(tr, obs.OutcomeError)
 		http.Error(w, err.Error(), statusFor(err))
 		return
 	}
+	outcome := obs.OutcomeMiss
+	if hit {
+		outcome = obs.OutcomeHit
+	}
+	// The write span opens before the metric and header work so almost
+	// all handler time lives inside some span: summed exclusive times
+	// then track the trace's end-to-end total (asserted within 10% by
+	// the e2e test).
+	wsp := tr.Begin(obs.StageWrite)
 	s.metrics.Blocks.Add(1)
 	ent.hist.Observe(time.Since(start))
 	h := w.Header()
@@ -421,12 +547,57 @@ func (s *Server) handleBlock(w http.ResponseWriter, r *http.Request) {
 	h.Set(HeaderCodec, ent.codec.Name())
 	h.Set(HeaderWords, strconv.Itoa(len(plain)/isa.WordSize))
 	h.Set(HeaderCRC, fmt.Sprintf("%08x", ent.crcs[id]))
-	if hit {
-		h.Set(HeaderCache, "hit")
-	} else {
-		h.Set(HeaderCache, "miss")
+	h.Set(HeaderCache, outcome)
+	if tr != nil {
+		h.Set(HeaderTrace, strconv.FormatUint(tr.TraceID(), 10))
+		h.Set(HeaderStages, stagesHeader(tr.Spans()))
 	}
 	w.Write(payload)
+	wsp.End(obs.OutcomeOK)
+	s.finishTrace(tr, outcome)
+}
+
+// stagesHeader renders a trace's spans as "stage:exclNS;..." for the
+// X-Apcc-Stages header. The write span is still open while the header
+// is rendered, so it is omitted — /debug/trace has it.
+func stagesHeader(spans []obs.Span) string {
+	var sb strings.Builder
+	for _, sp := range spans {
+		if sp.Stage == obs.StageWrite {
+			continue
+		}
+		if sb.Len() > 0 {
+			sb.WriteByte(';')
+		}
+		sb.WriteString(sp.Stage)
+		sb.WriteByte(':')
+		sb.WriteString(strconv.FormatInt(sp.ExclNS, 10))
+	}
+	return sb.String()
+}
+
+// finishTrace stamps a completed request trace, attributes each span's
+// exclusive time to the per-stage histograms, emits the per-request
+// debug log line, and hands the trace to the ring. Nil trace no-ops.
+func (s *Server) finishTrace(tr *obs.Trace, outcome string) {
+	if tr == nil {
+		return
+	}
+	tr.Finish(outcome)
+	codec := tr.Codec
+	if codec == "" {
+		codec = "unknown" // request failed before the entry resolved
+	}
+	for _, sp := range tr.Spans() {
+		s.metrics.StageHist(sp.Stage, codec, sp.Outcome).Observe(time.Duration(sp.ExclNS))
+	}
+	if s.log.Enabled(context.Background(), slog.LevelDebug) {
+		s.log.Debug("block request",
+			"trace", tr.TraceID(), "workload", tr.Workload, "codec", codec,
+			"block", tr.Block, "outcome", outcome,
+			"dur", time.Duration(tr.TotalNS))
+	}
+	s.rec.Record(tr)
 }
 
 // blockFromStore is the L2 tier: read block id's compressed payload
@@ -441,7 +612,7 @@ func (s *Server) handleBlock(w http.ResponseWriter, r *http.Request) {
 // only the exact-size copies the cache keeps. A verification failure
 // quarantines the object and detaches it so the path degrades to full
 // rebuilds instead of retrying corrupt disk forever.
-func (s *Server) blockFromStore(ent *entry, id int) ([]byte, bool) {
+func (s *Server) blockFromStore(ctx context.Context, ent *entry, id int) ([]byte, bool) {
 	obj := ent.obj.Load()
 	if obj == nil {
 		if s.store != nil {
@@ -449,10 +620,14 @@ func (s *Server) blockFromStore(ent *entry, id int) ([]byte, bool) {
 		}
 		return nil, false
 	}
-	detach := func() {
+	tr := obs.FromContext(ctx)
+	detach := func(what string, err error) {
 		if ent.obj.CompareAndSwap(obj, nil) {
 			s.store.Quarantine(obj.Key())
 			obj.Close()
+			tr.Event(obs.StageQuarantine, obs.OutcomeCorrupt)
+			s.log.Warn("store object quarantined, detaching from entry",
+				"key", shortKey(obj.Key()), "block", id, "what", what, "err", err)
 		}
 	}
 	idx := obj.Index()
@@ -483,9 +658,9 @@ func (s *Server) blockFromStore(ent *entry, id int) ([]byte, bool) {
 	span := int(idx.Blocks[hi].Off + idx.Blocks[hi].Len - idx.Blocks[id].Off)
 	buf := compress.GetBuf(span)
 	defer func() { compress.PutBuf(buf) }()
-	buf, err := obj.ReadBlockRange(id, hi, buf[:0])
+	buf, err := obj.ReadBlockRangeCtx(ctx, id, hi, buf[:0])
 	if err != nil {
-		detach()
+		detach("block range read", err)
 		s.metrics.StoreL2Misses.Add(1)
 		return nil, false
 	}
@@ -494,14 +669,20 @@ func (s *Server) blockFromStore(ent *entry, id int) ([]byte, bool) {
 	// attachObject proved the object's index CRCs equal ent.crcs, so
 	// the index verify below is also the entry-level integrity check.
 	comp := idx.PayloadRangeSlice(buf, 0, id, id)
-	if _, err := idx.VerifyBlock(ent.codec, id, comp, scratch[:0]); err != nil {
-		detach()
+	if _, err := idx.VerifyBlockCtx(ctx, ent.codec, id, comp, scratch[:0]); err != nil {
+		detach("demand block verify", err)
 		s.metrics.StoreL2Misses.Add(1)
 		return nil, false
 	}
 	// The cache retains values indefinitely; hand it exact-size copies
 	// and recycle the (span-sized) read buffer.
 	out := bytes.Clone(comp)
+	// One readahead span covers the whole speculative batch; the
+	// per-candidate verifies stay plain (their time is the span's).
+	var rasp obs.SpanHandle
+	if len(cands) > 0 {
+		rasp = tr.Begin(obs.StageReadahead)
+	}
 	for _, c := range cands {
 		ci := int(c)
 		ccomp := idx.PayloadRangeSlice(buf, 0, id, ci)
@@ -512,7 +693,8 @@ func (s *Server) blockFromStore(ent *entry, id int) ([]byte, bool) {
 		if _, err := idx.VerifyBlock(ent.codec, ci, ccomp, scratch[:0]); err != nil {
 			// Speculative bytes failed verification: the object is as
 			// corrupt as if the demand read had failed.
-			detach()
+			detach("readahead block verify", err)
+			rasp.End(obs.OutcomeCorrupt)
 			s.metrics.StoreL2Hits.Add(1) // the demand block itself was served
 			return out, true
 		}
@@ -521,6 +703,7 @@ func (s *Server) blockFromStore(ent *entry, id int) ([]byte, bool) {
 			s.metrics.StoreReadahead.Add(1)
 		}
 	}
+	rasp.End(obs.OutcomeOK)
 	s.metrics.StoreL2Hits.Add(1)
 	return out, true
 }
@@ -553,7 +736,13 @@ func (s *Server) entryFor(ctx context.Context, workload, codecName string) (*ent
 		ent = &entry{ready: make(chan struct{})}
 		s.entries[key] = ent
 		s.mu.Unlock()
+		bsp := obs.FromContext(ctx).Begin(obs.StageBuild)
 		ent.err = s.build(ent, workload, codecName)
+		if ent.err != nil {
+			bsp.End(obs.OutcomeError)
+		} else {
+			bsp.End(obs.OutcomeOK)
+		}
 		if ent.err != nil {
 			// Drop failed builds so errors are not cached forever and
 			// bogus names cannot grow the map without bound.
@@ -649,6 +838,8 @@ func (s *Server) restoreFromStore(ent *entry, workload, codecName string) bool {
 	p, codec, _, err := s.verifyUnpack(workload, container)
 	if err != nil {
 		s.store.Quarantine(key)
+		s.log.Warn("warm restore failed verification, object quarantined",
+			"key", shortKey(key), "workload", workload, "codec", codecName, "err", err)
 		return false
 	}
 	if err := s.finishEntry(ent, container, p, codec); err != nil {
@@ -675,6 +866,8 @@ func (s *Server) attachObject(ent *entry, obj *store.Object) {
 	if !ok {
 		s.store.Quarantine(obj.Key())
 		obj.Close()
+		s.log.Warn("store object CRC table does not match entry, quarantined",
+			"key", shortKey(obj.Key()))
 		return
 	}
 	if !ent.obj.CompareAndSwap(nil, obj) {

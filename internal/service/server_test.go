@@ -354,8 +354,15 @@ func TestHistogramQuantiles(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		h.Observe(histBounds[len(histBounds)-1] * 3) // overflow bucket
 	}
-	if got := h.Quantile(0.5); got != histBounds[0] {
-		t.Errorf("p50 = %v, want %v", got, histBounds[0])
+	// Interpolated p50: rank ceil(0.5*100)=50 lands in the first bucket
+	// [0, histBounds[0]] holding 90 observations, 50/90 of the way up.
+	wantP50 := time.Duration(float64(50) / 90 * float64(histBounds[0]))
+	if got := h.Quantile(0.5); got != wantP50 {
+		t.Errorf("p50 = %v, want interpolated %v", got, wantP50)
+	}
+	// The raw bucket upper bound would overstate it by a full bucket.
+	if got := h.Quantile(0.5); got >= histBounds[0] {
+		t.Errorf("p50 = %v not interpolated below bucket bound %v", got, histBounds[0])
 	}
 	// A quantile landing in the overflow bucket must report the largest
 	// overflow observation actually seen — clamping to the last bound
@@ -382,6 +389,17 @@ func TestHistogramQuantiles(t *testing.T) {
 	h2.Observe(2 * time.Second)
 	if got := h2.Quantile(0.999); got != slow {
 		t.Errorf("p99.9 after smaller overflow = %v, want %v", got, slow)
+	}
+
+	// Interior bucket interpolation: 4 observations land in the
+	// 25µs..50µs bucket; p50 rank 2 sits 2/4 through its 25µs width.
+	var h3 Histogram
+	for i := 0; i < 4; i++ {
+		h3.Observe(30 * time.Microsecond)
+	}
+	want := 25*time.Microsecond + time.Duration(0.5*float64(25*time.Microsecond))
+	if got := h3.Quantile(0.5); got != want {
+		t.Errorf("interior p50 = %v, want %v", got, want)
 	}
 }
 

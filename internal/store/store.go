@@ -21,6 +21,7 @@
 package store
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
@@ -32,6 +33,7 @@ import (
 	"sync/atomic"
 
 	"apbcc/internal/compress"
+	"apbcc/internal/obs"
 	"apbcc/internal/pack"
 )
 
@@ -363,6 +365,24 @@ func (o *Object) ReadBlockRange(lo, hi int, dst []byte) ([]byte, error) {
 	o.store.blockReads.Add(int64(hi - lo + 1))
 	o.store.blockBytes.Add(int64(len(out) - base))
 	return out, nil
+}
+
+// ReadBlockRangeCtx is ReadBlockRange with the disk read timed as a
+// StageL2Read span on the context's trace. With no trace attached it
+// costs exactly a ReadBlockRange call.
+func (o *Object) ReadBlockRangeCtx(ctx context.Context, lo, hi int, dst []byte) ([]byte, error) {
+	tr := obs.FromContext(ctx)
+	if tr == nil {
+		return o.ReadBlockRange(lo, hi, dst)
+	}
+	sp := tr.Begin(obs.StageL2Read)
+	out, err := o.ReadBlockRange(lo, hi, dst)
+	if err != nil {
+		sp.End(obs.OutcomeError)
+	} else {
+		sp.End(obs.OutcomeOK)
+	}
+	return out, err
 }
 
 // VerifiedBlock reads block i's compressed payload appending it to
