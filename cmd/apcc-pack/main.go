@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"apbcc/internal/compress"
 	"apbcc/internal/pack"
@@ -30,7 +31,7 @@ func main() {
 	var (
 		workload  = flag.String("workload", "", "suite workload to pack")
 		asmFile   = flag.String("asm", "", "ERI32 assembly file to pack")
-		codecName = flag.String("codec", "dict", "codec for the payloads")
+		codecName = flag.String("codec", "dict", "payload codec: "+strings.Join(compress.Names(), " | "))
 		out       = flag.String("o", "", "output container path")
 		info      = flag.String("info", "", "container to summarize")
 		verify    = flag.String("verify", "", "container to unpack and validate")

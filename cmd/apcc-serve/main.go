@@ -29,6 +29,7 @@ import (
 	"strings"
 	"time"
 
+	"apbcc/internal/compress"
 	"apbcc/internal/obs"
 	"apbcc/internal/policy"
 	"apbcc/internal/report"
@@ -54,11 +55,12 @@ func main() {
 
 		loadgen  = flag.Bool("loadgen", false, "run the load generator instead of serving")
 		coldwarm = flag.Bool("coldwarm", false, "loadgen: run the cold-start/warm-restart scenario (requires -store)")
+		codecmix = flag.Bool("codecmix", false, "loadgen: replay the scenario once per registered codec\n(ignores -codec) and report a per-codec comparison")
 		target   = flag.String("target", "", "loadgen target base URL (default: in-process server)")
 		clients  = flag.Int("clients", 32, "loadgen concurrent clients")
 		steps    = flag.Int("steps", 500, "loadgen trace steps per client")
 		workload = flag.String("workload", "fft", "loadgen scenario list: comma-separated workload names\nassigned to clients round-robin (e.g. fft,zipf,loopphase)")
-		codec    = flag.String("codec", "dict", "loadgen block codec")
+		codec    = flag.String("codec", "dict", "loadgen block codec: "+strings.Join(compress.Names(), " | "))
 		seed     = flag.Int64("seed", 1, "loadgen base trace seed")
 		traceOut = flag.String("trace-out", "", "loadgen: write one JSON line per block fetch (client latency +\nserver per-stage attribution) to this file ('-' for stdout)")
 	)
@@ -90,6 +92,12 @@ func main() {
 
 	if *coldwarm {
 		if err := runColdWarm(cfg, *workload, *codec, *clients, *steps, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *codecmix {
+		if err := runCodecMix(cfg, *target, *workload, *clients, *steps, *seed); err != nil {
 			fatal(err)
 		}
 		return
@@ -206,6 +214,69 @@ func runLoadgen(cfg service.Config, target, workload, codec string, clients, ste
 	}
 	if stats.FirstError != nil {
 		return fmt.Errorf("loadgen saw %d errors; first: %w", stats.Errors, stats.FirstError)
+	}
+	return nil
+}
+
+// runCodecMix replays the scenario once per registered codec against
+// one server (in-process unless a target is given), so a single run
+// exercises and compares the whole codec family end to end — and, on
+// the server side, populates the per-codec Prometheus stage metrics.
+func runCodecMix(cfg service.Config, target, workload string, clients, steps int, seed int64) error {
+	var inproc *service.Server
+	if target == "" {
+		var err error
+		inproc, err = service.New(cfg)
+		if err != nil {
+			return err
+		}
+		defer inproc.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		httpSrv := &http.Server{
+			Handler:           inproc.Handler(),
+			ReadHeaderTimeout: 10 * time.Second,
+			IdleTimeout:       2 * time.Minute,
+		}
+		go httpSrv.Serve(ln)
+		defer httpSrv.Close()
+		target = "http://" + ln.Addr().String()
+		fmt.Printf("apcc-serve: in-process server on %s\n", target)
+	}
+	mix, err := service.RunCodecMix(context.Background(), service.LoadConfig{
+		BaseURL:  target,
+		Workload: workload,
+		Clients:  clients,
+		Steps:    steps,
+		Seed:     seed,
+	})
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(fmt.Sprintf("codec mix %s (%d clients x %d steps per codec)", workload, clients, steps),
+		"codec", "fetches", "errors", "payload_bytes", "cache_hits", "fetches_per_sec", "p50", "p99")
+	var firstErr error
+	var errs int64
+	for _, leg := range mix {
+		s := leg.Stats
+		t.AddRow(leg.Codec, s.Requests, s.Errors, s.Bytes, s.CacheHits,
+			fmt.Sprintf("%.0f", s.Throughput()),
+			s.Latency.Quantile(0.50).String(), s.Latency.Quantile(0.99).String())
+		errs += s.Errors
+		if firstErr == nil && s.FirstError != nil {
+			firstErr = fmt.Errorf("%s: %w", leg.Codec, s.FirstError)
+		}
+	}
+	fmt.Print(t)
+	if inproc != nil {
+		cs := inproc.CacheStats()
+		fmt.Printf("\nserver cache: hits=%d misses=%d coalesced=%d hit_rate=%.4f\n",
+			cs.Hits, cs.Misses, cs.Coalesced, cs.HitRate())
+	}
+	if firstErr != nil {
+		return fmt.Errorf("codec mix saw %d errors; first: %w", errs, firstErr)
 	}
 	return nil
 }

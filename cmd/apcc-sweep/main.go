@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		exps  = flag.String("exp", "f3,e1,e2,e3,e4,e4b,e5,e6,e7,e8,e9,e10", "comma-separated experiment ids")
+		exps  = flag.String("exp", "f3,e1,e2,e3,e3b,e4,e4b,e5,e6,e7,e8,e9,e10", "comma-separated experiment ids")
 		csv   = flag.Bool("csv", false, "emit CSV")
 		steps = flag.Int("steps", bench.DefaultSteps, "trace length per cell")
 		kc    = flag.Int("kc", 4, "default compress-k")
@@ -35,6 +35,7 @@ func main() {
 		"e1":  func() (*report.Table, error) { return bench.MemoryVsK(ks, *steps) },
 		"e2":  func() (*report.Table, error) { return bench.OverheadVsK(ks, *kd, *steps) },
 		"e3":  func() (*report.Table, error) { return bench.Codecs(*kc, *steps) },
+		"e3b": func() (*report.Table, error) { return bench.CodecArbitration([]float64{0, 0.05, 0.15, 0.5}) },
 		"e4":  func() (*report.Table, error) { return bench.Policies(*kc, *kd, *steps) },
 		"e4b": func() (*report.Table, error) { return bench.Budget(*kc, *steps) },
 		"e5":  func() (*report.Table, error) { return bench.Granularity(*kc, *steps) },

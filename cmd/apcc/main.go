@@ -25,7 +25,7 @@ import (
 func main() {
 	var (
 		workload  = flag.String("workload", "crc32", "suite workload name (see -list)")
-		codecName = flag.String("codec", "dict", "block codec: dict, lzss, huffman, rle, identity")
+		codecName = flag.String("codec", "dict", "block codec: "+strings.Join(compress.Names(), " | "))
 		strategy  = flag.String("strategy", "on-demand", "on-demand | pre-all | pre-single")
 		kc        = flag.Int("kc", 4, "compress-k (k-edge compression parameter)")
 		kd        = flag.Int("kd", 2, "decompress-k (pre-decompression lookahead)")

@@ -151,7 +151,7 @@ func Codecs(kc, steps int) (*report.Table, error) {
 		return nil, err
 	}
 	tb := report.NewTable(fmt.Sprintf("E3: codec study (on-demand, kc=%d)", kc),
-		"workload", "codec", "ratio", "comp-MB/s", "decomp-MB/s", "overhead", "avg-saving", "demand-stall-cyc")
+		"workload", "codec", "ratio", "comp-MB/s", "decomp-MB/s", "overhead", "avg-saving", "demand-stall-cyc", "patterns")
 	for _, w := range all {
 		code, err := w.Program.CodeBytes()
 		if err != nil {
@@ -177,7 +177,85 @@ func Codecs(kc, steps int) (*report.Table, error) {
 			tb.AddRow(w.Name, name,
 				report.Pct(float64(res.CompressedSize)/float64(res.UncompressedSize)),
 				fmt.Sprintf("%.0f", st.CompressMBps()), fmt.Sprintf("%.0f", st.DecompressMBps()),
-				report.Pct(res.Overhead()), report.Pct(res.AvgSaving()), res.DemandStallCycles)
+				report.Pct(res.Overhead()), report.Pct(res.AvgSaving()), res.DemandStallCycles,
+				st.Patterns.String())
+		}
+	}
+	return tb, nil
+}
+
+// CodecArbitration regenerates E3b: cost-aware per-block codec
+// arbitration. For every workload the full codec family (trained on
+// the workload's code, as the pack pipeline would) competes block by
+// block under compress.Arbiter at several decode weights: weight 0 is
+// pure size (the smallest encoding wins every block), larger weights
+// charge each candidate its modeled decompression cycles, shifting
+// choices toward cheap decoders. The table reports how many blocks
+// each codec won, the mixed ratio the arbitrated container achieves,
+// and the best single codec it must beat — the per-block mix can never
+// be worse than the best whole-program codec at weight 0.
+func CodecArbitration(weights []float64) (*report.Table, error) {
+	all, err := workloads.Suite()
+	if err != nil {
+		return nil, err
+	}
+	names := compress.Names()
+	cols := []string{"workload", "decode-weight"}
+	cols = append(cols, names...)
+	cols = append(cols, "mix-ratio", "best-single", "single-ratio")
+	tb := report.NewTable("E3b: cost-aware per-block codec arbitration", cols...)
+	for _, w := range all {
+		code, err := w.Program.CodeBytes()
+		if err != nil {
+			return nil, err
+		}
+		blocks, err := w.Program.AllBlockBytes()
+		if err != nil {
+			return nil, err
+		}
+		total := 0
+		for _, b := range blocks {
+			total += len(b)
+		}
+		codecs := make([]compress.Codec, len(names))
+		singles := make([]int, len(names)) // whole-program compressed bytes
+		for i, name := range names {
+			if codecs[i], err = compress.New(name, code); err != nil {
+				return nil, err
+			}
+			st, err := compress.Measure(codecs[i], blocks)
+			if err != nil {
+				return nil, err
+			}
+			singles[i] = st.CompressedBytes
+		}
+		bestIdx := 0
+		for i, s := range singles {
+			if s < singles[bestIdx] {
+				bestIdx = i
+			}
+		}
+		for _, wgt := range weights {
+			arb := &compress.Arbiter{Codecs: codecs, DecodeWeight: wgt}
+			counts := make([]int, len(names))
+			mixBytes := 0
+			var scratch []byte
+			for _, b := range blocks {
+				choice, s, err := arb.Choose(b, scratch)
+				if err != nil {
+					return nil, fmt.Errorf("bench: E3b %s: %w", w.Name, err)
+				}
+				scratch = s
+				counts[choice.Index]++
+				mixBytes += choice.CompressedLen
+			}
+			row := []any{w.Name, fmt.Sprintf("%g", wgt)}
+			for _, c := range counts {
+				row = append(row, c)
+			}
+			row = append(row, report.Pct(compress.Ratio(total, mixBytes)),
+				names[bestIdx], report.Pct(compress.Ratio(total, singles[bestIdx])))
+			tb.AddRow(row...)
 		}
 	}
 	return tb, nil

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"apbcc/internal/compress"
 	"apbcc/internal/core"
 	"apbcc/internal/policy"
 	"apbcc/internal/workloads"
@@ -38,7 +39,8 @@ func TestHarnessesProduceFullTables(t *testing.T) {
 		{"DesignSpace", func() (interface{ NumRows() int }, error) { return DesignSpace(4, 2, steps) }, n * 3},
 		{"MemoryVsK", func() (interface{ NumRows() int }, error) { return MemoryVsK([]int{1, 4}, steps) }, n * 2},
 		{"OverheadVsK", func() (interface{ NumRows() int }, error) { return OverheadVsK([]int{2}, 2, steps) }, n},
-		{"Codecs", func() (interface{ NumRows() int }, error) { return Codecs(4, steps) }, n * 5},
+		{"Codecs", func() (interface{ NumRows() int }, error) { return Codecs(4, steps) }, n * len(compress.Names())},
+		{"CodecArbitration", func() (interface{ NumRows() int }, error) { return CodecArbitration([]float64{0, 0.15}) }, n * 2},
 		{"Policies", func() (interface{ NumRows() int }, error) { return Policies(4, 2, steps) }, len(policyWorkloads) * len(policy.Names())},
 		{"Budget", func() (interface{ NumRows() int }, error) { return Budget(4, steps) }, n * 4},
 		{"Granularity", func() (interface{ NumRows() int }, error) { return Granularity(4, steps) }, n * 2},
@@ -58,6 +60,25 @@ func TestHarnessesProduceFullTables(t *testing.T) {
 				t.Errorf("rows = %d, want %d", got, c.rows)
 			}
 		})
+	}
+}
+
+// TestCodecsTablePatternsColumn: the E3 table must carry per-pattern
+// selection shares for the word-pattern codecs and "-" for the rest.
+func TestCodecsTablePatternsColumn(t *testing.T) {
+	tb, err := Codecs(4, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tb.String()
+	if !strings.Contains(out, "patterns") {
+		t.Error("E3 table missing patterns column")
+	}
+	// cpack rows report word-pattern classes; bdi rows report group modes.
+	for _, frag := range []string{"XXXX:", "RAW:", "%w/"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("E3 table missing pattern fragment %q", frag)
+		}
 	}
 }
 

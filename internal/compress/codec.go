@@ -173,6 +173,10 @@ type BlockStats struct {
 
 	CompressTime   time.Duration // wall time spent in CompressAppend
 	DecompressTime time.Duration // wall time spent in DecompressAppend
+
+	// Patterns holds per-pattern-class selection counts and byte shares
+	// when the codec is a PatternReporter (cpack, bdi); nil otherwise.
+	Patterns PatternStats
 }
 
 // Ratio returns the aggregate compression ratio.
@@ -234,6 +238,17 @@ func Measure(c Codec, blocks [][]byte) (BlockStats, error) {
 		s.CompressedBytes += len(comp)
 		if len(comp) >= len(b) {
 			s.IncompressibleBlocks++
+		}
+	}
+	// Pattern attribution is a separate untimed pass so the throughput
+	// numbers above reflect the production compress path.
+	if pr, ok := c.(PatternReporter); ok {
+		for i, b := range blocks {
+			var err error
+			s.Patterns, err = pr.CountPatterns(b, s.Patterns)
+			if err != nil {
+				return s, fmt.Errorf("compress: block %d: patterns: %w", i, err)
+			}
 		}
 	}
 	return s, nil

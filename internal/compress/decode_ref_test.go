@@ -28,6 +28,10 @@ func refDecompressAppend(t testing.TB, c Codec, dst, src []byte) ([]byte, error)
 		return refDictDecompress(c, dst, src)
 	case rle:
 		return refRLEDecompress(dst, src)
+	case *cpack:
+		return refCPackDecompress(c, dst, src)
+	case bdi:
+		return refBDIDecompress(dst, src)
 	case identity:
 		return append(dst, src...), nil
 	}
@@ -153,6 +157,142 @@ func refDictDecompress(d *dict, dst, src []byte) ([]byte, error) {
 	}
 	out = append(out, src[pos:pos+tail]...)
 	return out, nil
+}
+
+// refCPackDecompress is the naive append-per-word C-Pack decoder: no
+// pair fast path, no pre-sized output, one fully-checked nibble at a
+// time. It is the behavioral oracle for cpack.DecompressAppend.
+func refCPackDecompress(c *cpack, dst, src []byte) ([]byte, error) {
+	n, hdr := binary.Uvarint(src)
+	if hdr <= 0 || n > math.MaxInt32 {
+		return nil, fmt.Errorf("%w: bad cpack length header", ErrCorrupt)
+	}
+	src = src[hdr:]
+	out := dst
+	nWords := int(n) / isa.WordSize
+	pos := 0
+	dct := c.seed
+	head := c.seedN % cpackDictEntries
+	for w := 0; w < nWords; {
+		if pos >= len(src) {
+			return nil, fmt.Errorf("%w: cpack stream truncated at word %d", ErrCorrupt, w)
+		}
+		tag := src[pos]
+		pos++
+		for half := 0; half < 2 && w < nWords; half++ {
+			cls := (tag >> (4 * half)) & 0xF
+			pay := cpackPayLen[cls]
+			if pay < 0 {
+				return nil, fmt.Errorf("%w: cpack tag nibble %d has no pattern class", ErrCorrupt, cls)
+			}
+			if pos+int(pay) > len(src) {
+				return nil, fmt.Errorf("%w: cpack payload truncated at word %d", ErrCorrupt, w)
+			}
+			var v uint32
+			switch cls {
+			case cpZZZZ:
+				v = 0
+			case cpMMMM:
+				idx := src[pos]
+				pos++
+				if idx >= cpackDictEntries {
+					return nil, fmt.Errorf("%w: cpack dictionary index %d", ErrCorrupt, idx)
+				}
+				v = dct[idx]
+			case cpZZZX:
+				v = uint32(src[pos])
+				pos++
+			case cpMMXX:
+				idx := src[pos]
+				if idx >= cpackDictEntries {
+					return nil, fmt.Errorf("%w: cpack dictionary index %d", ErrCorrupt, idx)
+				}
+				v = dct[idx]&^uint32(0xFFFF) | uint32(src[pos+1]) | uint32(src[pos+2])<<8
+				pos += 3
+				dct[head] = v
+				head = (head + 1) % cpackDictEntries
+			case cpMMMX:
+				idx := src[pos]
+				if idx >= cpackDictEntries {
+					return nil, fmt.Errorf("%w: cpack dictionary index %d", ErrCorrupt, idx)
+				}
+				v = dct[idx]&^uint32(0xFF) | uint32(src[pos+1])
+				pos += 2
+				dct[head] = v
+				head = (head + 1) % cpackDictEntries
+			case cpXXXX:
+				v = isa.ByteOrder.Uint32(src[pos:])
+				pos += isa.WordSize
+				dct[head] = v
+				head = (head + 1) % cpackDictEntries
+			}
+			out = isa.ByteOrder.AppendUint32(out, v)
+			w++
+		}
+	}
+	tail := int(n) - nWords*isa.WordSize
+	if pos+tail > len(src) {
+		return nil, fmt.Errorf("%w: cpack tail truncated", ErrCorrupt)
+	}
+	return append(out, src[pos:pos+tail]...), nil
+}
+
+// refBDIDecompress is the naive append-per-word base-delta-immediate
+// decoder: every group fully checked, no 32-byte block stores. It is
+// the behavioral oracle for bdi.DecompressAppend.
+func refBDIDecompress(dst, src []byte) ([]byte, error) {
+	n, hdr := binary.Uvarint(src)
+	if hdr <= 0 || n > math.MaxInt32 {
+		return nil, fmt.Errorf("%w: bad bdi length header", ErrCorrupt)
+	}
+	src = src[hdr:]
+	out := dst
+	nWords := int(n) / isa.WordSize
+	pos := 0
+	for w := 0; w < nWords; {
+		k := nWords - w
+		if k > bdiGroupWords {
+			k = bdiGroupWords
+		}
+		if pos >= len(src) {
+			return nil, fmt.Errorf("%w: bdi stream truncated at word %d", ErrCorrupt, w)
+		}
+		mode := src[pos]
+		pos++
+		pay := bdiPayLen(mode, k)
+		if pay < 0 {
+			return nil, fmt.Errorf("%w: bdi mode byte %d", ErrCorrupt, mode)
+		}
+		if pos+pay > len(src) {
+			return nil, fmt.Errorf("%w: bdi group payload truncated at word %d", ErrCorrupt, w)
+		}
+		for i := 0; i < k; i++ {
+			var v uint32
+			switch mode {
+			case bdiZero:
+				v = 0
+			case bdiRep:
+				v = isa.ByteOrder.Uint32(src[pos:])
+			case bdiD1:
+				b := isa.ByteOrder.Uint32(src[pos:])
+				v = b + uint32(int32(int8(src[pos+isa.WordSize+i])))
+			case bdiD2:
+				b := isa.ByteOrder.Uint32(src[pos:])
+				d := int16(binary.LittleEndian.Uint16(src[pos+isa.WordSize+2*i:]))
+				v = b + uint32(int32(d))
+			case bdiRaw:
+				v = isa.ByteOrder.Uint32(src[pos+i*isa.WordSize:])
+			}
+			out = isa.ByteOrder.AppendUint32(out, v)
+		}
+		pos += pay
+		w += k
+	}
+	tail := int(n) - nWords*isa.WordSize
+	if pos+tail > len(src) {
+		return nil, fmt.Errorf("%w: bdi tail truncated", ErrCorrupt)
+	}
+	return append(out, src[pos:pos+tail]...), nil
 }
 
 // refRLEDecompress mirrors the (unchanged) RLE decoder so the

@@ -19,6 +19,22 @@ func WordsToBytes(words []uint32) []byte {
 	return buf
 }
 
+// AppendEncodedBytes encodes instructions straight into dst as their
+// little-endian memory image, skipping the intermediate word slice —
+// the zero-alloc form of EncodeAll+WordsToBytes for callers that own a
+// reusable buffer (the pack pipeline encodes every block once per
+// build).
+func AppendEncodedBytes(dst []byte, ins []Instruction) ([]byte, error) {
+	for i, in := range ins {
+		w, err := in.Encode()
+		if err != nil {
+			return nil, fmt.Errorf("isa: instruction %d (%s): %w", i, in, err)
+		}
+		dst = ByteOrder.AppendUint32(dst, w)
+	}
+	return dst, nil
+}
+
 // BytesToWords deserializes a little-endian memory image into
 // instruction words. The image length must be a multiple of WordSize.
 func BytesToWords(buf []byte) ([]uint32, error) {

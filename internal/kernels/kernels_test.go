@@ -50,7 +50,7 @@ func TestKernelsUnderCompression(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, codecName := range []string{"dict", "lzss"} {
+		for _, codecName := range []string{"dict", "lzss", "cpack", "bdi"} {
 			codec, err := compress.New(codecName, code)
 			if err != nil {
 				t.Fatal(err)
@@ -97,6 +97,56 @@ func TestKernelsUnderCompression(t *testing.T) {
 				})
 			}
 		}
+	}
+}
+
+// TestCPackBeatsRLEOnKernelSuite pins the ratio half of PR 7's
+// acceptance criterion on the real kernels rather than a synthetic
+// image: cpack (trained per kernel, as the pack pipeline trains per
+// program) must compress every kernel's code tighter than rle, and
+// tighter in aggregate. The seed dictionary ships out-of-band like
+// dict's table, so — per the E3 convention — model bytes are not
+// counted in the ratio.
+func TestCPackBeatsRLEOnKernelSuite(t *testing.T) {
+	totalCPack, totalRLE, totalOrig := 0, 0, 0
+	for _, k := range All() {
+		p, err := k.Program()
+		if err != nil {
+			t.Fatal(err)
+		}
+		code, err := p.CodeBytes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp, err := compress.New("cpack", code)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rl, err := compress.New("rle", code)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ccomp, err := cp.Compress(code)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rcomp, err := rl.Compress(code)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cr := compress.Ratio(len(code), len(ccomp))
+		rr := compress.Ratio(len(code), len(rcomp))
+		t.Logf("%s: %d B, cpack %.3f, rle %.3f", k.Name, len(code), cr, rr)
+		if cr >= rr {
+			t.Errorf("%s: cpack ratio %.3f not better than rle %.3f", k.Name, cr, rr)
+		}
+		totalCPack += len(ccomp)
+		totalRLE += len(rcomp)
+		totalOrig += len(code)
+	}
+	if totalCPack >= totalRLE {
+		t.Errorf("suite aggregate: cpack %d B not smaller than rle %d B (of %d B)",
+			totalCPack, totalRLE, totalOrig)
 	}
 }
 

@@ -100,7 +100,7 @@ func TestCrossVersionUnpackMatrix(t *testing.T) {
 // block fetched through the v2 index (one ReadAt plus one decompress)
 // must be byte- and CRC-identical to the same block from a full Unpack.
 func TestIndexLocatesEveryBlock(t *testing.T) {
-	for _, codecName := range []string{"dict", "lzss", "identity"} {
+	for _, codecName := range []string{"dict", "lzss", "identity", "cpack", "bdi"} {
 		t.Run(codecName, func(t *testing.T) {
 			data, _ := packWorkloadVersion(t, "fft", codecName, Version)
 			idx, err := ParseIndex(data)

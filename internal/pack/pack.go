@@ -118,22 +118,38 @@ func packVersion(p *program.Program, codec compress.Codec, workers, version int)
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	plain, err := p.CodeBytes()
+	// The whole-image bytes are only needed transiently for the header
+	// CRC, so they go through a pooled buffer rather than CodeBytes.
+	plain := compress.GetBuf(p.TotalBytes())
+	plain, err := p.AppendCodeBytes(plain[:0])
 	if err != nil {
+		compress.PutBuf(plain)
 		return nil, err
 	}
+	plainCRC := crc32.ChecksumIEEE(plain)
+	compress.PutBuf(plain)
 	payloads, crcs, err := compressBlocks(p, codec, workers)
 	if err != nil {
 		return nil, err
 	}
+	g := p.Graph
+	nedges, payloadBytes := 0, 0
+	for _, b := range g.Blocks() {
+		nedges += len(g.Succs(b.ID))
+	}
+	for _, pay := range payloads {
+		payloadBytes += len(pay)
+	}
 	var buf bytes.Buffer
+	// One up-front growth instead of log2(size) doublings: payloads plus
+	// a generous per-block/per-edge metadata estimate.
+	buf.Grow(payloadBytes + 64*g.NumBlocks() + 32*nedges + 256)
 	buf.Write(Magic)
 	writeUvarint(&buf, uint64(version))
 	writeBytes(&buf, []byte(codec.Name()))
 	writeBytes(&buf, compress.MarshalModel(codec))
-	writeFixed32(&buf, crc32.ChecksumIEEE(plain))
+	writeFixed32(&buf, plainCRC)
 
-	g := p.Graph
 	writeUvarint(&buf, uint64(g.Entry()))
 	writeUvarint(&buf, uint64(g.NumBlocks()))
 	var off uint64
@@ -150,7 +166,7 @@ func packVersion(p *program.Program, codec compress.Codec, workers, version int)
 		writeFixed32(&buf, crcs[i])
 		off += uint64(len(payloads[i]))
 	}
-	var edges []cfg.Edge
+	edges := make([]cfg.Edge, 0, nedges)
 	for _, b := range g.Blocks() {
 		edges = append(edges, g.Succs(b.ID)...)
 	}
@@ -188,10 +204,23 @@ func compressBlocks(p *program.Program, codec compress.Codec, workers int) ([][]
 	payloads := make([][]byte, len(blocks))
 	crcs := make([]uint32, len(blocks))
 	stride := func(start int) error {
+		// Two pooled buffers per worker: one for the block's plain
+		// image (encoded in place, no per-block BlockBytes allocation)
+		// and one for the compressed form. Only the exact-size payload
+		// copy survives the loop.
+		img := compress.GetBuf(0)
 		scratch := compress.GetBuf(0)
-		defer func() { compress.PutBuf(scratch) }()
+		defer func() {
+			compress.PutBuf(img)
+			compress.PutBuf(scratch)
+		}()
 		for i := start; i < len(blocks); i += workers {
-			img, err := p.BlockBytes(blocks[i].ID)
+			if need := blocks[i].Words() * isa.WordSize; cap(img) < need {
+				compress.PutBuf(img)
+				img = compress.GetBuf(need)
+			}
+			var err error
+			img, err = p.AppendBlockBytes(img[:0], blocks[i].ID)
 			if err != nil {
 				return err
 			}

@@ -51,6 +51,43 @@ func TestPackParallelDeterministic(t *testing.T) {
 	}
 }
 
+// TestPackBuildAllocBudget pins the serial build's allocation count so
+// the pooled-buffer compression path cannot silently regress. The
+// budget is per-block-linear because each block retains exactly one
+// exact-size payload clone; everything transient (block image, scratch,
+// whole-image CRC buffer) must come from the pool. The fixed headroom
+// covers the container buffer's growth doublings, the model marshal,
+// and Validate/BranchSites bookkeeping.
+func TestPackBuildAllocBudget(t *testing.T) {
+	w, err := workloads.ByName("fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := w.Program.CodeBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, codecName := range []string{"dict", "cpack", "bdi"} {
+		codec, err := compress.New(codecName, code)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Pack(w.Program, codec); err != nil { // warm the pools
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(20, func() {
+			if _, err := Pack(w.Program, codec); err != nil {
+				t.Fatal(err)
+			}
+		})
+		budget := float64(w.Program.Graph.NumBlocks() + 30)
+		if allocs > budget {
+			t.Errorf("%s: Pack allocates %.0f times, budget %.0f (blocks=%d)",
+				codecName, allocs, budget, w.Program.Graph.NumBlocks())
+		}
+	}
+}
+
 // BenchmarkPackBuild is the pack-level entry of the tracked benchmark
 // set (run with -benchmem in CI): container builds at 1 worker and at
 // GOMAXPROCS, so the artifact records the parallel speedup alongside
@@ -64,7 +101,7 @@ func BenchmarkPackBuild(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	for _, codecName := range []string{"dict", "lzss"} {
+	for _, codecName := range []string{"dict", "lzss", "cpack", "bdi"} {
 		codec, err := compress.New(codecName, code)
 		if err != nil {
 			b.Fatal(err)

@@ -125,7 +125,7 @@ func TestUnpackTypedErrors(t *testing.T) {
 // the engine fails the run on any panic. Whatever parses must survive
 // re-packing.
 func FuzzUnpack(f *testing.F) {
-	for _, codec := range []string{"dict", "identity", "lzss"} {
+	for _, codec := range []string{"dict", "identity", "lzss", "cpack", "bdi"} {
 		data, _ := buildContainer(f, "crc32", codec)
 		f.Add(data)
 		v1, _ := packWorkloadVersion(f, "crc32", codec, VersionV1)

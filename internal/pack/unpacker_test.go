@@ -214,7 +214,7 @@ func TestPackParallelCutoffDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, codecName := range []string{"dict", "lzss"} {
+	for _, codecName := range []string{"dict", "lzss", "cpack", "bdi"} {
 		codec, err := compress.New(codecName, code)
 		if err != nil {
 			t.Fatal(err)

@@ -86,6 +86,22 @@ func (p *Program) BlockBytes(id cfg.BlockID) ([]byte, error) {
 	return isa.WordsToBytes(words), nil
 }
 
+// AppendBlockBytes appends a block's little-endian byte image to dst
+// and returns the extended slice — BlockBytes without the two
+// per-call allocations. The pack pipeline calls this once per block
+// per build with a pooled buffer.
+func (p *Program) AppendBlockBytes(dst []byte, id cfg.BlockID) ([]byte, error) {
+	b := p.Graph.Block(id)
+	if b == nil {
+		return nil, fmt.Errorf("program %s: unknown block %d", p.Name, id)
+	}
+	if b.Start < 0 || b.End > len(p.Ins) || b.Start > b.End {
+		return nil, fmt.Errorf("program %s: block %s range [%d,%d) outside %d words",
+			p.Name, b, b.Start, b.End, len(p.Ins))
+	}
+	return isa.AppendEncodedBytes(dst, p.Ins[b.Start:b.End])
+}
+
 // AllBlockBytes returns the byte image of every block, indexed by
 // BlockID. It is the codec training corpus and the layout input.
 func (p *Program) AllBlockBytes() ([][]byte, error) {
@@ -107,6 +123,17 @@ func (p *Program) CodeBytes() ([]byte, error) {
 		return nil, fmt.Errorf("program %s: %w", p.Name, err)
 	}
 	return isa.WordsToBytes(words), nil
+}
+
+// AppendCodeBytes appends the whole program image to dst and returns
+// the extended slice — CodeBytes for callers that only need the image
+// transiently (checksumming, training) and reuse a pooled buffer.
+func (p *Program) AppendCodeBytes(dst []byte) ([]byte, error) {
+	out, err := isa.AppendEncodedBytes(dst, p.Ins)
+	if err != nil {
+		return nil, fmt.Errorf("program %s: %w", p.Name, err)
+	}
+	return out, nil
 }
 
 // TotalBytes returns the uncompressed code size.

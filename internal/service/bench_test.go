@@ -20,7 +20,7 @@ import (
 // BenchmarkServeBlock measures the hot serving path: cached block
 // fetches over real HTTP from parallel clients.
 func BenchmarkServeBlock(b *testing.B) {
-	for _, codec := range []string{"dict", "lzss", "identity"} {
+	for _, codec := range []string{"dict", "lzss", "identity", "cpack", "bdi"} {
 		b.Run(codec, func(b *testing.B) {
 			s, err := New(Config{})
 			if err != nil {
@@ -97,7 +97,7 @@ func BenchmarkPool(b *testing.B) {
 // BenchmarkPackContainer measures cold container builds (no cache) per
 // codec.
 func BenchmarkPackContainer(b *testing.B) {
-	for _, codec := range []string{"dict", "lzss", "huffman"} {
+	for _, codec := range []string{"dict", "lzss", "huffman", "cpack", "bdi"} {
 		b.Run(codec, func(b *testing.B) {
 			s, err := New(Config{})
 			if err != nil {
@@ -156,7 +156,7 @@ func BenchmarkBlockSource(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	for _, codecName := range []string{"dict", "lzss"} {
+	for _, codecName := range []string{"dict", "lzss", "cpack", "bdi"} {
 		code, err := prog.CodeBytes()
 		if err != nil {
 			b.Fatal(err)

@@ -307,6 +307,34 @@ func verifyBlock(codec compress.Codec, payload []byte, hdr http.Header, want, sc
 	return plain, nil
 }
 
+// CodecMixStats is one codec's leg of a RunCodecMix sweep.
+type CodecMixStats struct {
+	Codec string
+	Stats *LoadStats
+}
+
+// RunCodecMix replays the same load scenario once per registered codec,
+// in registry order. Every leg packs, serves, decompresses and verifies
+// the same workload set under a different codec, so after a mix run the
+// server's per-codec metrics (cache entries, Prometheus stage/codec
+// labels, decode attribution) are populated across the whole codec
+// family — the end-to-end exercise for codec-labelled observability.
+// cfg.Codec is ignored; each leg sets its own.
+func RunCodecMix(ctx context.Context, cfg LoadConfig) ([]CodecMixStats, error) {
+	names := compress.Names()
+	out := make([]CodecMixStats, 0, len(names))
+	for _, name := range names {
+		leg := cfg
+		leg.Codec = name
+		st, err := RunLoad(ctx, leg)
+		if err != nil {
+			return nil, fmt.Errorf("service: codecmix %s: %w", name, err)
+		}
+		out = append(out, CodecMixStats{Codec: name, Stats: st})
+	}
+	return out, nil
+}
+
 // ColdWarmStats reports the two phases of a cold-start/warm-restart
 // scenario run against the same store directory.
 type ColdWarmStats struct {

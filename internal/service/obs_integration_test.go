@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"apbcc/internal/compress"
 	"apbcc/internal/obs"
 )
 
@@ -83,6 +84,48 @@ func TestPromEndpointValid(t *testing.T) {
 	} {
 		if !strings.Contains(string(body), want) {
 			t.Errorf("exposition missing %s", want)
+		}
+	}
+}
+
+// TestCodecMixPopulatesPromLabels drives the codecmix scenario end to
+// end against one server and asserts the Prometheus exposition then
+// carries per-stage decode attribution for every registered codec —
+// in particular the word-pattern codecs, whose serving path (pack,
+// L1/L2, decode, verify) must be exercised by the mix, not just by
+// unit tests.
+func TestCodecMixPopulatesPromLabels(t *testing.T) {
+	_, ts := newTestServerConfig(t, Config{Workers: 4, StoreDir: t.TempDir()})
+	mix, err := RunCodecMix(context.Background(), LoadConfig{
+		BaseURL:  ts.URL,
+		Workload: "crc32",
+		Clients:  2,
+		Steps:    40,
+		Seed:     7,
+		Client:   ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(compress.Names()); len(mix) != want {
+		t.Fatalf("mix legs = %d, want %d", len(mix), want)
+	}
+	for _, leg := range mix {
+		if leg.Stats.Errors != 0 {
+			t.Errorf("%s: %d errors, first: %v", leg.Codec, leg.Stats.Errors, leg.Stats.FirstError)
+		}
+		if leg.Stats.Requests == 0 {
+			t.Errorf("%s: no fetches", leg.Codec)
+		}
+	}
+	_, body, _ := get(t, ts.Client(), ts.URL+"/metrics/prom")
+	if _, err := obs.LintProm(bytes.NewReader(body)); err != nil {
+		t.Fatalf("exposition invalid after mix: %v", err)
+	}
+	for _, codec := range compress.Names() {
+		series := fmt.Sprintf(`apcc_block_stage_seconds_bucket{stage="l1",codec=%q`, codec)
+		if !strings.Contains(string(body), series) {
+			t.Errorf("exposition missing stage series for codec %s", codec)
 		}
 	}
 }

@@ -56,7 +56,7 @@ func TestHealthz(t *testing.T) {
 
 func TestPackEndpointRoundTrips(t *testing.T) {
 	_, ts := newTestServer(t)
-	for _, codec := range []string{"dict", "lzss", "huffman", "rle", "identity"} {
+	for _, codec := range []string{"dict", "lzss", "huffman", "rle", "identity", "cpack", "bdi"} {
 		code, body, hdr := get(t, ts.Client(), ts.URL+"/v1/pack/crc32?codec="+codec)
 		if code != http.StatusOK {
 			t.Fatalf("%s: status %d: %s", codec, code, body)
