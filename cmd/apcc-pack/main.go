@@ -54,6 +54,12 @@ func main() {
 		tb.AddRow("compressed payloads", report.KB(inf.CompressedBytes))
 		tb.AddRow("payload ratio", report.Pct(float64(inf.CompressedBytes)/float64(inf.PlainBytes)))
 		tb.AddRow("container size", report.KB(inf.ContainerBytes))
+		if inf.GroupWords > 0 {
+			tb.AddRow("group words", inf.GroupWords)
+			tb.AddRow("word groups", inf.Groups)
+		} else {
+			tb.AddRow("group words", "none (no sub-block random access)")
+		}
 		tb.AddRow("entry block", p.Graph.Block(p.Graph.Entry()).String())
 		fmt.Print(tb)
 	case *verify != "":

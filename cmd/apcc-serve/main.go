@@ -62,6 +62,7 @@ func main() {
 		workload = flag.String("workload", "fft", "loadgen scenario list: comma-separated workload names\nassigned to clients round-robin (e.g. fft,zipf,loopphase)")
 		codec    = flag.String("codec", "dict", "loadgen block codec: "+strings.Join(compress.Names(), " | "))
 		seed     = flag.Int64("seed", 1, "loadgen base trace seed")
+		wordread = flag.Float64("wordread", 0, "loadgen: fraction of fetches issued as sub-block word reads\n(?word=W&words=N, zipf start words; 0 disables, 1 = all)")
 		traceOut = flag.String("trace-out", "", "loadgen: write one JSON line per block fetch (client latency +\nserver per-stage attribution) to this file ('-' for stdout)")
 	)
 	flag.Parse()
@@ -103,7 +104,7 @@ func main() {
 		return
 	}
 	if *loadgen {
-		if err := runLoadgen(cfg, *target, *workload, *codec, *clients, *steps, *seed, *traceOut); err != nil {
+		if err := runLoadgen(cfg, *target, *workload, *codec, *clients, *steps, *seed, *wordread, *traceOut); err != nil {
 			fatal(err)
 		}
 		return
@@ -146,7 +147,7 @@ func main() {
 // runLoadgen replays the workload against target, or against a
 // self-hosted in-process server on a loopback port when no target is
 // given — a single-binary demo of the whole serving path.
-func runLoadgen(cfg service.Config, target, workload, codec string, clients, steps int, seed int64, traceOut string) error {
+func runLoadgen(cfg service.Config, target, workload, codec string, clients, steps int, seed int64, wordFrac float64, traceOut string) error {
 	var traceW io.Writer
 	switch traceOut {
 	case "":
@@ -190,6 +191,7 @@ func runLoadgen(cfg service.Config, target, workload, codec string, clients, ste
 		Clients:  clients,
 		Steps:    steps,
 		Seed:     seed,
+		WordFrac: wordFrac,
 		TraceOut: traceW,
 	})
 	if err != nil {
@@ -199,6 +201,7 @@ func runLoadgen(cfg service.Config, target, workload, codec string, clients, ste
 	t := report.NewTable(fmt.Sprintf("loadgen %s/%s", workload, codec), "metric", "value")
 	t.AddRow("clients", stats.Clients)
 	t.AddRow("block_fetches", stats.Requests)
+	t.AddRow("word_reads", stats.WordReads)
 	t.AddRow("errors", stats.Errors)
 	t.AddRow("payload_bytes", stats.Bytes)
 	t.AddRow("cache_hits_seen", stats.CacheHits)

@@ -261,18 +261,18 @@ func TestCorruptInputs(t *testing.T) {
 		// the slice bounds if not rejected up front.
 		{"dict", []byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01}},
 		{"huffman", []byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01}},
-		{"cpack", []byte{}},                  // no header
-		{"cpack", []byte{8}},                 // claims 2 words, no stream
-		{"cpack", []byte{8, 0x66}},           // tag nibble 6: no such class
-		{"cpack", []byte{8, 0xF0}},           // low nibble 0 ok, high nibble 15 invalid
+		{"cpack", []byte{}},                    // no header
+		{"cpack", []byte{8}},                   // claims 2 words, no stream
+		{"cpack", []byte{8, 0x66}},             // tag nibble 6: no such class
+		{"cpack", []byte{8, 0xF0}},             // low nibble 0 ok, high nibble 15 invalid
 		{"cpack", []byte{8, 0x11, 0x20, 0x00}}, // MMMM index 32 beyond 16 entries
-		{"cpack", []byte{8, 0x44, 1, 2, 3}},  // raw pair truncated mid-payload
+		{"cpack", []byte{8, 0x44, 1, 2, 3}},    // raw pair truncated mid-payload
 		{"cpack", []byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01}},
-		{"bdi", []byte{}},                    // no header
-		{"bdi", []byte{32}},                  // claims a group, no stream
-		{"bdi", []byte{32, 5}},               // mode byte 5: no such mode
-		{"bdi", []byte{32, 2, 1, 2, 3, 4}},   // D1 deltas truncated
-		{"bdi", []byte{32, 4, 1, 2, 3}},      // raw group truncated
+		{"bdi", []byte{}},                  // no header
+		{"bdi", []byte{32}},                // claims a group, no stream
+		{"bdi", []byte{32, 5}},             // mode byte 5: no such mode
+		{"bdi", []byte{32, 2, 1, 2, 3, 4}}, // D1 deltas truncated
+		{"bdi", []byte{32, 4, 1, 2, 3}},    // raw group truncated
 		{"bdi", []byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01}},
 	}
 	for _, c := range cases {

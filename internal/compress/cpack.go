@@ -45,6 +45,10 @@ import (
 // stored least-frequent-first and the push cursor starts after them,
 // so eviction reaches the hottest seeds last.
 //
+// The dictionary is reset to that seed state every cpackGroupWords
+// words, making each 32-word group independently decodable (the group
+// index in pack v3 depends on it; see group.go for the trade-off).
+//
 // Decode is branch-light: a 256-entry table maps each tag byte to the
 // combined payload length of both nibbles (or rejects invalid nibbles),
 // so the hot loop does one table load and one bounds check per *pair*
@@ -60,6 +64,15 @@ type cpack struct {
 // the whole dictionary in registers/L1 and the index inside one nibble
 // of headroom (it is stored in a full byte; values >= 16 are corrupt).
 const cpackDictEntries = 16
+
+// cpackGroupWords is the group-decode granularity: the moving
+// dictionary is reset to the trained seed every 32 words, on both
+// sides, so any group can be decoded without replaying the stream
+// before it (the seekable-format trade: slightly fewer cross-group
+// matches buy random access — see group.go). 32 words is two full
+// dictionary turnovers, wide enough that reset cost stays small, and a
+// multiple of 2 so group boundaries always land on tag-byte pairs.
+const cpackGroupWords = 32
 
 // Tag nibble values. The zero value is ZZZZ so an ignored high nibble
 // of a final odd word (always written 0) reads as a valid class.
@@ -229,6 +242,13 @@ func (c *cpack) compressAppend(dst, src []byte, pats *[cpClassCount]patternAcc) 
 	dct := c.seed
 	head := c.seedN & (cpackDictEntries - 1)
 	for w := 0; w < nWords; {
+		if w&(cpackGroupWords-1) == 0 {
+			// Group boundary: restart from the seed state so the group
+			// decodes standalone. w is always even here (pairs), so the
+			// boundary never splits a tag byte.
+			dct = c.seed
+			head = c.seedN & (cpackDictEntries - 1)
+		}
 		tagPos := len(out)
 		out = append(out, 0)
 		v0 := isa.ByteOrder.Uint32(src[w*isa.WordSize:])
@@ -335,8 +355,17 @@ func (c *cpack) DecompressAppend(dst, src []byte) ([]byte, error) {
 	dct := c.seed
 	head := c.seedN & (cpackDictEntries - 1)
 	// Fast pair loop: tag plus both payloads is at most 9 bytes, so one
-	// bound check up front covers the whole pair.
+	// bound check up front covers the whole pair. The nibble decode is
+	// fully inlined (no cpackDecodeNibble call), so dct and head live in
+	// registers across the whole loop instead of being spilled for a
+	// non-inlinable call per word — that call was the large-block
+	// throughput collapse: per-pair function-call and dictionary-store
+	// traffic dominated once blocks outgrew the L1-resident sizes.
 	for w+2 <= nWords && pos+9 <= len(src) {
+		if w&(cpackGroupWords-1) == 0 {
+			dct = c.seed
+			head = c.seedN & (cpackDictEntries - 1)
+		}
 		tag := src[pos]
 		pos++
 		switch tag {
@@ -357,17 +386,139 @@ func (c *cpack) DecompressAppend(dst, src []byte) ([]byte, error) {
 			head = (head + 1) & (cpackDictEntries - 1)
 			dct[head] = v1
 			head = (head + 1) & (cpackDictEntries - 1)
+		case cpXXXX | cpMMMM<<4: // raw then full match
+			v0 := isa.ByteOrder.Uint32(src[pos:])
+			idx := src[pos+isa.WordSize]
+			if idx >= cpackDictEntries {
+				return nil, fmt.Errorf("%w: cpack dictionary index out of range", ErrCorrupt)
+			}
+			pos += isa.WordSize + 1
+			isa.ByteOrder.PutUint32(out[l:], v0)
+			dct[head] = v0
+			head = (head + 1) & (cpackDictEntries - 1)
+			isa.ByteOrder.PutUint32(out[l+isa.WordSize:], dct[idx])
+		case cpMMMM | cpXXXX<<4: // full match then raw
+			idx := src[pos]
+			if idx >= cpackDictEntries {
+				return nil, fmt.Errorf("%w: cpack dictionary index out of range", ErrCorrupt)
+			}
+			v1 := isa.ByteOrder.Uint32(src[pos+1:])
+			pos += 1 + isa.WordSize
+			isa.ByteOrder.PutUint32(out[l:], dct[idx])
+			isa.ByteOrder.PutUint32(out[l+isa.WordSize:], v1)
+			dct[head] = v1
+			head = (head + 1) & (cpackDictEntries - 1)
+		case cpXXXX | cpMMMX<<4: // raw then upper-24 match
+			v0 := isa.ByteOrder.Uint32(src[pos:])
+			idx := src[pos+isa.WordSize]
+			if idx >= cpackDictEntries {
+				return nil, fmt.Errorf("%w: cpack dictionary index out of range", ErrCorrupt)
+			}
+			dct[head] = v0
+			head = (head + 1) & (cpackDictEntries - 1)
+			v1 := dct[idx]&^uint32(0xFF) | uint32(src[pos+isa.WordSize+1])
+			pos += isa.WordSize + 2
+			isa.ByteOrder.PutUint32(out[l:], v0)
+			isa.ByteOrder.PutUint32(out[l+isa.WordSize:], v1)
+			dct[head] = v1
+			head = (head + 1) & (cpackDictEntries - 1)
+		case cpMMMX | cpXXXX<<4: // upper-24 match then raw
+			idx := src[pos]
+			if idx >= cpackDictEntries {
+				return nil, fmt.Errorf("%w: cpack dictionary index out of range", ErrCorrupt)
+			}
+			v0 := dct[idx]&^uint32(0xFF) | uint32(src[pos+1])
+			v1 := isa.ByteOrder.Uint32(src[pos+2:])
+			pos += 2 + isa.WordSize
+			isa.ByteOrder.PutUint32(out[l:], v0)
+			isa.ByteOrder.PutUint32(out[l+isa.WordSize:], v1)
+			dct[head] = v0
+			head = (head + 1) & (cpackDictEntries - 1)
+			dct[head] = v1
+			head = (head + 1) & (cpackDictEntries - 1)
 		default:
 			if cpackPairLen[tag] < 0 {
 				return nil, fmt.Errorf("%w: cpack tag %#02x has no pattern class", ErrCorrupt, tag)
 			}
-			pos = cpackDecodeNibble(tag&0xF, src, pos, out, l, &dct, &head)
-			if pos < 0 {
-				return nil, fmt.Errorf("%w: cpack dictionary index out of range", ErrCorrupt)
+			switch tag & 0xF {
+			case cpZZZZ:
+				isa.ByteOrder.PutUint32(out[l:], 0)
+			case cpMMMM:
+				idx := src[pos]
+				pos++
+				if idx >= cpackDictEntries {
+					return nil, fmt.Errorf("%w: cpack dictionary index out of range", ErrCorrupt)
+				}
+				isa.ByteOrder.PutUint32(out[l:], dct[idx])
+			case cpZZZX:
+				isa.ByteOrder.PutUint32(out[l:], uint32(src[pos]))
+				pos++
+			case cpMMXX:
+				idx := src[pos]
+				if idx >= cpackDictEntries {
+					return nil, fmt.Errorf("%w: cpack dictionary index out of range", ErrCorrupt)
+				}
+				v := dct[idx]&^uint32(0xFFFF) | uint32(src[pos+1]) | uint32(src[pos+2])<<8
+				pos += 3
+				isa.ByteOrder.PutUint32(out[l:], v)
+				dct[head] = v
+				head = (head + 1) & (cpackDictEntries - 1)
+			case cpMMMX:
+				idx := src[pos]
+				if idx >= cpackDictEntries {
+					return nil, fmt.Errorf("%w: cpack dictionary index out of range", ErrCorrupt)
+				}
+				v := dct[idx]&^uint32(0xFF) | uint32(src[pos+1])
+				pos += 2
+				isa.ByteOrder.PutUint32(out[l:], v)
+				dct[head] = v
+				head = (head + 1) & (cpackDictEntries - 1)
+			default: // cpXXXX
+				v := isa.ByteOrder.Uint32(src[pos:])
+				pos += isa.WordSize
+				isa.ByteOrder.PutUint32(out[l:], v)
+				dct[head] = v
+				head = (head + 1) & (cpackDictEntries - 1)
 			}
-			pos = cpackDecodeNibble(tag>>4, src, pos, out, l+isa.WordSize, &dct, &head)
-			if pos < 0 {
-				return nil, fmt.Errorf("%w: cpack dictionary index out of range", ErrCorrupt)
+			switch tag >> 4 {
+			case cpZZZZ:
+				isa.ByteOrder.PutUint32(out[l+isa.WordSize:], 0)
+			case cpMMMM:
+				idx := src[pos]
+				pos++
+				if idx >= cpackDictEntries {
+					return nil, fmt.Errorf("%w: cpack dictionary index out of range", ErrCorrupt)
+				}
+				isa.ByteOrder.PutUint32(out[l+isa.WordSize:], dct[idx])
+			case cpZZZX:
+				isa.ByteOrder.PutUint32(out[l+isa.WordSize:], uint32(src[pos]))
+				pos++
+			case cpMMXX:
+				idx := src[pos]
+				if idx >= cpackDictEntries {
+					return nil, fmt.Errorf("%w: cpack dictionary index out of range", ErrCorrupt)
+				}
+				v := dct[idx]&^uint32(0xFFFF) | uint32(src[pos+1]) | uint32(src[pos+2])<<8
+				pos += 3
+				isa.ByteOrder.PutUint32(out[l+isa.WordSize:], v)
+				dct[head] = v
+				head = (head + 1) & (cpackDictEntries - 1)
+			case cpMMMX:
+				idx := src[pos]
+				if idx >= cpackDictEntries {
+					return nil, fmt.Errorf("%w: cpack dictionary index out of range", ErrCorrupt)
+				}
+				v := dct[idx]&^uint32(0xFF) | uint32(src[pos+1])
+				pos += 2
+				isa.ByteOrder.PutUint32(out[l+isa.WordSize:], v)
+				dct[head] = v
+				head = (head + 1) & (cpackDictEntries - 1)
+			default: // cpXXXX
+				v := isa.ByteOrder.Uint32(src[pos:])
+				pos += isa.WordSize
+				isa.ByteOrder.PutUint32(out[l+isa.WordSize:], v)
+				dct[head] = v
+				head = (head + 1) & (cpackDictEntries - 1)
 			}
 		}
 		l += 2 * isa.WordSize
@@ -376,6 +527,10 @@ func (c *cpack) DecompressAppend(dst, src []byte) ([]byte, error) {
 	// Careful loop: remaining words with per-payload truncation checks.
 	// Its accept/reject behavior is the codec contract.
 	for w < nWords {
+		if w&(cpackGroupWords-1) == 0 {
+			dct = c.seed
+			head = c.seedN & (cpackDictEntries - 1)
+		}
 		if pos >= len(src) {
 			return nil, fmt.Errorf("%w: cpack stream truncated at word %d", ErrCorrupt, w)
 		}

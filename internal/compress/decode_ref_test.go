@@ -174,6 +174,13 @@ func refCPackDecompress(c *cpack, dst, src []byte) ([]byte, error) {
 	dct := c.seed
 	head := c.seedN % cpackDictEntries
 	for w := 0; w < nWords; {
+		if w%cpackGroupWords == 0 {
+			// Group boundary: the dictionary restarts from the seed state
+			// (the wire-behavior change that makes groups independently
+			// decodable; mirrors compressAppend).
+			dct = c.seed
+			head = c.seedN % cpackDictEntries
+		}
 		if pos >= len(src) {
 			return nil, fmt.Errorf("%w: cpack stream truncated at word %d", ErrCorrupt, w)
 		}

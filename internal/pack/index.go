@@ -1,10 +1,13 @@
-// Index: the v2 container's block index table, and random block access
-// through it. The index is a pure prefix of the container (header,
-// per-block table, edges), so a reader can locate and decompress any
-// single block with one bounded metadata read plus one ReadAt of the
-// payload bytes — the software analogue of block-granular access to
-// compressed memory, and what lets the disk store serve blocks without
-// inflating whole containers.
+// Index: the indexed container's block index table (v2/v3), and random
+// block access through it. The index is a pure prefix of the container
+// (header, per-block table, edges, and in v3 the sub-block group
+// directory), so a reader can locate and decompress any single block
+// with one bounded metadata read plus one ReadAt of the payload bytes —
+// the software analogue of block-granular access to compressed memory,
+// and what lets the disk store serve blocks without inflating whole
+// containers. With a v3 group directory the same holds one level down:
+// ReadWordRangeAt serves any word span by reading and decoding only the
+// covering word groups.
 package pack
 
 import (
@@ -22,7 +25,7 @@ import (
 	"apbcc/internal/obs"
 )
 
-// IndexEntry locates one block's compressed payload inside a v2
+// IndexEntry locates one block's compressed payload inside an indexed
 // container and carries enough metadata to verify it in isolation.
 type IndexEntry struct {
 	Label string
@@ -33,11 +36,13 @@ type IndexEntry struct {
 	CRC   uint32 // IEEE CRC-32 of the plain block image
 }
 
-// Index is the parsed metadata prefix of a v2 container: everything
-// except the payload bytes themselves. It is sufficient to reconstruct
-// the CFG, rebuild the trained codec, and read any block's compressed
-// payload directly by offset.
+// Index is the parsed metadata prefix of an indexed container:
+// everything except the payload bytes themselves. It is sufficient to
+// reconstruct the CFG, rebuild the trained codec, and read any block's
+// compressed payload directly by offset — and, when a v3 group
+// directory is present, any word span within a block.
 type Index struct {
+	Version  int // container format version (VersionV2 or Version)
 	Codec    string
 	Model    []byte
 	ImageCRC uint32 // IEEE CRC-32 of the whole plain image
@@ -45,8 +50,21 @@ type Index struct {
 	Blocks   []IndexEntry
 	Edges    []cfg.Edge
 
+	// GroupWords is the v3 group directory granularity in plain words;
+	// 0 means the container has no directory (v2, or a codec that
+	// cannot slice) and word reads must fall back to full-block decode.
+	GroupWords int
+
 	PayloadBase int64 // absolute container offset of the payload section
 	PayloadLen  int64 // total payload section length in bytes
+
+	// Group start offsets for all blocks, flattened in block order:
+	// block i's ceil(Words/GroupWords) offsets occupy
+	// groupOffs[groupBase[i]:groupBase[i+1]], each relative to the
+	// block's payload start. Flat storage keeps the parse to two
+	// allocations regardless of block count.
+	groupOffs []uint32
+	groupBase []int
 }
 
 // indexReadChunk is the initial (and growth-step) prefix size for
@@ -60,23 +78,24 @@ const indexReadChunk = 64 << 10
 // stay sane even before payload verification exposes the lie.
 const maxBlockWords = 1 << 26
 
-// ParseIndex parses the metadata prefix of a v2 container. data may be
-// the full container or any prefix long enough to hold the metadata;
-// payload bytes after the index are not touched. v1 containers are
-// rejected with ErrBadVersion: they have no index, so blocks cannot be
-// located without a full decompression pass.
+// ParseIndex parses the metadata prefix of an indexed (v2 or v3)
+// container. data may be the full container or any prefix long enough
+// to hold the metadata; payload bytes after the index are not touched.
+// v1 containers are rejected with ErrBadVersion: they have no index, so
+// blocks cannot be located without a full decompression pass.
 func ParseIndex(data []byte) (*Index, error) {
 	r := &reader{data: data}
 	if !bytes.Equal(r.take(len(Magic)), Magic) {
 		return nil, ErrBadMagic
 	}
-	if v := r.uvarint(); v != Version {
-		if r.err != nil {
-			return nil, r.err
-		}
-		return nil, fmt.Errorf("%w: %d (index requires v%d)", ErrBadVersion, v, Version)
+	v := r.uvarint()
+	if r.err != nil {
+		return nil, r.err
 	}
-	idx := &Index{}
+	if v != Version && v != VersionV2 {
+		return nil, fmt.Errorf("%w: %d (index requires v%d or v%d)", ErrBadVersion, v, VersionV2, Version)
+	}
+	idx := &Index{Version: int(v)}
 	idx.Codec = string(r.bytes())
 	idx.Model = bytes.Clone(r.bytes())
 	crcBytes := r.take(4)
@@ -137,6 +156,11 @@ func ParseIndex(data []byte) (*Index, error) {
 			return nil, fmt.Errorf("%w: edge %d probability %v outside [0,1]", ErrCorrupt, i, e.Prob)
 		}
 	}
+	if idx.Version == Version {
+		if err := parseGroupDirectory(r, idx); err != nil {
+			return nil, err
+		}
+	}
 	idx.PayloadLen = int64(r.uvarint())
 	if r.err != nil {
 		return nil, r.err
@@ -146,6 +170,83 @@ func ParseIndex(data []byte) (*Index, error) {
 	}
 	idx.PayloadBase = int64(len(data) - len(r.data))
 	return idx, nil
+}
+
+// parseGroupDirectory reads the v3 sub-block directory: groupWords,
+// then per block the delta-encoded group start offsets. Offsets must be
+// strictly increasing and land inside the block's payload — overlapping
+// or out-of-bounds groups are not a container Pack could have produced,
+// so anything else is ErrCorrupt. Group counts are derived from the
+// already-validated block word counts; the offset slice pre-allocation
+// is clamped by the remaining input (every offset costs at least one
+// byte), so a hostile header cannot force an unbounded allocation.
+func parseGroupDirectory(r *reader, idx *Index) error {
+	gw := r.uvarint()
+	if r.err != nil {
+		return r.err
+	}
+	if gw > maxBlockWords {
+		return fmt.Errorf("%w: group directory claims %d-word groups", ErrCorrupt, gw)
+	}
+	idx.GroupWords = int(gw)
+	if idx.GroupWords == 0 {
+		return nil
+	}
+	var total int64
+	for i := range idx.Blocks {
+		total += int64((idx.Blocks[i].Words + idx.GroupWords - 1) / idx.GroupWords)
+	}
+	if clamp := int64(len(r.data)); total > clamp {
+		total = clamp
+	}
+	idx.groupOffs = make([]uint32, 0, total)
+	idx.groupBase = make([]int, len(idx.Blocks)+1)
+	for i := range idx.Blocks {
+		idx.groupBase[i] = len(idx.groupOffs)
+		e := &idx.Blocks[i]
+		ngroups := (e.Words + idx.GroupWords - 1) / idx.GroupWords
+		var cur uint64
+		for g := 0; g < ngroups; g++ {
+			d := r.uvarint()
+			if r.err != nil {
+				return r.err
+			}
+			if g == 0 {
+				cur = d
+			} else {
+				if d == 0 {
+					return fmt.Errorf("%w: block %d group %d offset not increasing", ErrCorrupt, i, g)
+				}
+				cur += d
+			}
+			if cur >= uint64(e.Len) || cur > math.MaxUint32 {
+				return fmt.Errorf("%w: block %d group %d starts at %d of %d payload bytes",
+					ErrCorrupt, i, g, cur, e.Len)
+			}
+			idx.groupOffs = append(idx.groupOffs, uint32(cur))
+		}
+	}
+	idx.groupBase[len(idx.Blocks)] = len(idx.groupOffs)
+	return nil
+}
+
+// HasGroupIndex reports whether the container carries a v3 group
+// directory, i.e. whether ReadWordRangeAt can serve sub-block reads.
+func (x *Index) HasGroupIndex() bool { return x.GroupWords > 0 }
+
+// NumGroups returns the total word-group count across all blocks (0
+// without a group directory).
+func (x *Index) NumGroups() int { return len(x.groupOffs) }
+
+// BlockGroupOffsets returns block i's group start offsets, each
+// relative to the block's payload start. The returned slice aliases the
+// index; callers must not mutate it. Nil without a group directory or
+// for an out-of-range block.
+func (x *Index) BlockGroupOffsets(i int) []uint32 {
+	if x.GroupWords == 0 || i < 0 || i >= len(x.Blocks) {
+		return nil
+	}
+	return x.groupOffs[x.groupBase[i]:x.groupBase[i+1]:x.groupBase[i+1]]
 }
 
 // ReadIndexAt parses a v2 container's index from a random-access
@@ -252,6 +353,82 @@ func (x *Index) DecompressBlockAt(r io.ReaderAt, codec compress.Codec, i int, ds
 		return nil, nil, err
 	}
 	return comp, plain, nil
+}
+
+// ReadWordRangeAt serves a sub-block word span through the v3 group
+// directory: one bounded ReadAt of exactly the covering groups'
+// compressed bytes, then one DecompressGroup per covering group —
+// the rest of the block is never read or decoded. The span's plain
+// bytes (nwords*4) are appended to dst; the compressed group bytes are
+// appended to compDst (pass pooled buffers to stay allocation-free).
+// Both grown slices are returned; plain's appended suffix is the word
+// span. Containers or codecs without group support fail with
+// ErrNoGroupIndex, which callers treat as "fall back to full-block
+// decode". Unlike DecompressBlockAt there is no per-block CRC check —
+// a group decode covers too little of the block to verify it — so the
+// serving tier cross-checks against its own copy of the plain image.
+func (x *Index) ReadWordRangeAt(r io.ReaderAt, codec compress.Codec, block, word, nwords int, compDst, dst []byte) (comp, plain []byte, err error) {
+	if !x.HasGroupIndex() {
+		return compDst, dst, ErrNoGroupIndex
+	}
+	gc, ok := compress.AsGroupCodec(codec)
+	if !ok {
+		return compDst, dst, fmt.Errorf("%w: codec %s cannot group-decode", ErrNoGroupIndex, codec.Name())
+	}
+	gw := x.GroupWords
+	if gc.GroupWords() != gw {
+		return compDst, dst, fmt.Errorf("%w: directory has %d-word groups, codec %s decodes %d",
+			ErrCorrupt, gw, codec.Name(), gc.GroupWords())
+	}
+	if block < 0 || block >= len(x.Blocks) {
+		return compDst, dst, fmt.Errorf("%w: no block %d (%d blocks)", ErrCorrupt, block, len(x.Blocks))
+	}
+	e := x.Blocks[block]
+	if word < 0 || nwords < 1 || word > e.Words-nwords {
+		return compDst, dst, fmt.Errorf("%w: block %d words [%d,%d) outside %d-word block",
+			ErrCorrupt, block, word, word+nwords, e.Words)
+	}
+	offs := x.BlockGroupOffsets(block)
+	g0, g1 := word/gw, (word+nwords-1)/gw
+	start := int64(offs[g0])
+	end := e.Len
+	if g1+1 < len(offs) {
+		end = int64(offs[g1+1])
+	}
+	n := int(end - start)
+	cbase := len(compDst)
+	if cap(compDst)-cbase < n {
+		grown := make([]byte, cbase, cbase+n)
+		copy(grown, compDst)
+		compDst = grown
+	}
+	compDst = compDst[:cbase+n]
+	if _, err := r.ReadAt(compDst[cbase:], x.PayloadBase+e.Off+start); err != nil {
+		return compDst[:cbase], dst, fmt.Errorf("pack: block %d group read: %w", block, err)
+	}
+	span := compDst[cbase:]
+	base := len(dst)
+	out := dst
+	for g := g0; g <= g1; g++ {
+		gEnd := len(span)
+		if g+1 < len(offs) {
+			gEnd = int(int64(offs[g+1]) - start)
+		}
+		k := e.Words - g*gw
+		if k > gw {
+			k = gw
+		}
+		out, err = gc.DecompressGroup(out, span[int64(offs[g])-start:gEnd], k)
+		if err != nil {
+			return compDst, dst, fmt.Errorf("pack: block %d group %d: %w", block, g, err)
+		}
+	}
+	// Slide the requested span to the front of the appended region and
+	// drop the surrounding group padding.
+	lo := base + (word-g0*gw)*isa.WordSize
+	nb := nwords * isa.WordSize
+	copy(out[base:], out[lo:lo+nb])
+	return compDst, out[:base+nb], nil
 }
 
 // VerifyBlock decompresses one block's compressed payload appending to

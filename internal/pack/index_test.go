@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"apbcc/internal/compress"
+	"apbcc/internal/program"
 	"apbcc/internal/workloads"
 )
 
@@ -35,35 +36,15 @@ func packWorkloadVersion(t testing.TB, workload, codecName string, version int) 
 	return data, w
 }
 
-// TestCrossVersionUnpackMatrix pins v2→Unpack equivalence with v1: for
-// every codec, packing the same program in both formats must unpack to
-// identical instruction streams, CFGs and block images.
+// TestCrossVersionUnpackMatrix pins Unpack equivalence across all
+// three container format versions: for every codec, packing the same
+// program as v1, v2 and v3 must unpack to identical instruction
+// streams, CFGs and block images.
 func TestCrossVersionUnpackMatrix(t *testing.T) {
+	versions := []int{VersionV1, VersionV2, Version}
 	for _, codecName := range compress.Names() {
 		t.Run(codecName, func(t *testing.T) {
-			v1, _ := packWorkloadVersion(t, "fft", codecName, VersionV1)
-			v2, w := packWorkloadVersion(t, "fft", codecName, Version)
-			p1, _, i1, err := Unpack("fft", v1)
-			if err != nil {
-				t.Fatalf("v1 unpack: %v", err)
-			}
-			p2, _, i2, err := Unpack("fft", v2)
-			if err != nil {
-				t.Fatalf("v2 unpack: %v", err)
-			}
-			if i1.Version != VersionV1 || i2.Version != Version {
-				t.Fatalf("info versions = %d, %d", i1.Version, i2.Version)
-			}
-			// Identical payload bytes in both formats: the index adds
-			// metadata, it does not change compression.
-			if i1.CompressedBytes != i2.CompressedBytes {
-				t.Errorf("payload bytes differ: v1=%d v2=%d", i1.CompressedBytes, i2.CompressedBytes)
-			}
-			c1, err := p1.CodeBytes()
-			if err != nil {
-				t.Fatal(err)
-			}
-			c2, err := p2.CodeBytes()
+			w, err := workloads.ByName("fft")
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -71,9 +52,40 @@ func TestCrossVersionUnpackMatrix(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if !bytes.Equal(c1, want) || !bytes.Equal(c2, want) {
-				t.Fatal("reconstructed code images differ from the original")
+			progs := make([]*programInfo, len(versions))
+			for vi, version := range versions {
+				data, _ := packWorkloadVersion(t, "fft", codecName, version)
+				p, _, info, err := Unpack("fft", data)
+				if err != nil {
+					t.Fatalf("v%d unpack: %v", version, err)
+				}
+				if info.Version != version {
+					t.Fatalf("info version = %d, want %d", info.Version, version)
+				}
+				// Only v3 carries a group directory, and only for codecs
+				// that can slice payloads into word groups.
+				_, groupable := compress.AsGroupCodec(mustCodec(t, codecName, want))
+				if wantGW := version == Version && groupable; (info.GroupWords > 0) != wantGW {
+					t.Fatalf("v%d GroupWords = %d, groupable = %v", version, info.GroupWords, groupable)
+				}
+				c, err := p.CodeBytes()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(c, want) {
+					t.Fatalf("v%d reconstructed code image differs from the original", version)
+				}
+				progs[vi] = &programInfo{p: p, info: info}
 			}
+			// Identical payload bytes in every format: the index and group
+			// directory add metadata, they do not change compression.
+			for vi := 1; vi < len(progs); vi++ {
+				if progs[vi].info.CompressedBytes != progs[0].info.CompressedBytes {
+					t.Errorf("payload bytes differ: v%d=%d v%d=%d", versions[0],
+						progs[0].info.CompressedBytes, versions[vi], progs[vi].info.CompressedBytes)
+				}
+			}
+			p1, p2 := progs[0].p, progs[len(progs)-1].p
 			if p1.Graph.NumBlocks() != p2.Graph.NumBlocks() {
 				t.Fatal("block counts differ across versions")
 			}
@@ -94,6 +106,23 @@ func TestCrossVersionUnpackMatrix(t *testing.T) {
 			}
 		})
 	}
+}
+
+// programInfo pairs one version's Unpack results in the cross-version
+// matrix.
+type programInfo struct {
+	p    *program.Program
+	info *Info
+}
+
+// mustCodec trains a codec for test use.
+func mustCodec(t testing.TB, name string, code []byte) compress.Codec {
+	t.Helper()
+	c, err := compress.New(name, code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
 }
 
 // TestIndexLocatesEveryBlock is the random-access acceptance pin: every

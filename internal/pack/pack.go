@@ -8,14 +8,18 @@
 // payloads and re-deriving the instruction stream, then verifies a
 // whole-image checksum.
 //
-// Wire format v2 (all integers uvarint unless noted, little-endian;
+// Wire format v3 (all integers uvarint unless noted, little-endian;
 // fixed32/fixed64 fields are raw little-endian):
 //
-//	magic "APCC" | version=2 | codec name | model | crc32 of plain image (fixed32)
+//	magic "APCC" | version=3 | codec name | model | crc32 of plain image (fixed32)
 //	entry block | nblocks
 //	index table, per block: label, func, words,
 //	    payload offset, payload length, crc32 of plain block (fixed32)
 //	nedges | per edge: from, to, kind, prob (float64 bits, fixed64)
+//	group directory: group words (0 = absent), then per block
+//	    ceil(words/groupWords) group start offsets within the block's
+//	    payload — first absolute, rest delta-encoded (strictly
+//	    increasing, each < payload length)
 //	payload section length | concatenated compressed payloads
 //
 // Everything before the payload section is the *index*: a pure
@@ -24,9 +28,19 @@
 // verified (per-block CRC of the plain image) without touching the
 // rest of the container — see Index / ReadIndexAt / DecompressBlockAt.
 //
-// The legacy v1 format interleaved each payload with its block record
-// and had no per-block CRCs or offsets, so v1 containers can only be
-// decompressed front to back. Unpack reads both; Pack emits v2.
+// The group directory is the v3 addition: when the codec supports
+// group decode (compress.GroupCodec — bdi, cpack, dict, identity), the
+// directory records where each fixed-size word group's bytes start
+// inside every payload, so a word-granular read is one bounded ReadAt
+// of the covering groups plus a DecompressGroup per group — no
+// full-block decode. Group counts are derived from block word counts,
+// never stored. A container whose codec cannot slice (entropy codecs)
+// carries groupWords=0 and reads fall back to whole-block decode.
+//
+// Version v2 is identical minus the group directory; the legacy v1
+// format interleaved each payload with its block record and had no
+// per-block CRCs or offsets, so v1 containers can only be decompressed
+// front to back. Unpack reads all three; Pack emits v3.
 package pack
 
 import (
@@ -49,9 +63,12 @@ import (
 var Magic = []byte("APCC")
 
 // Version is the container format version Pack emits (the indexed
-// format). VersionV1 is the legacy index-less format, still readable.
+// format with the sub-block group directory). VersionV2 is the
+// group-less indexed format and VersionV1 the legacy index-less
+// format; both stay readable.
 const (
-	Version   = 2
+	Version   = 3
+	VersionV2 = 2
 	VersionV1 = 1
 )
 
@@ -61,6 +78,10 @@ var (
 	ErrBadVersion  = errors.New("pack: unsupported version")
 	ErrCorrupt     = errors.New("pack: corrupt container")
 	ErrBadChecksum = errors.New("pack: image checksum mismatch")
+	// ErrNoGroupIndex marks a word-range read against a container (or
+	// codec) without sub-block group support; callers fall back to
+	// full-block decode.
+	ErrNoGroupIndex = errors.New("pack: no group directory")
 )
 
 // Pack serializes the program with every block compressed by the
@@ -109,10 +130,10 @@ func autoWorkers(totalBytes, maxProcs int) int {
 }
 
 // packVersion serializes the program in the requested container format
-// version. v1 stays writable so the cross-version test matrix can pin
-// that Unpack reads legacy containers identically.
+// version. v1 and v2 stay writable so the cross-version test matrix can
+// pin that Unpack reads legacy containers identically.
 func packVersion(p *program.Program, codec compress.Codec, workers, version int) ([]byte, error) {
-	if version != Version && version != VersionV1 {
+	if version != Version && version != VersionV2 && version != VersionV1 {
 		return nil, fmt.Errorf("%w: %d", ErrBadVersion, version)
 	}
 	if err := p.Validate(); err != nil {
@@ -180,12 +201,54 @@ func packVersion(p *program.Program, codec compress.Codec, workers, version int)
 		buf.Write(p64[:])
 	}
 	if version == Version {
+		gw, flat, bases := groupDirectory(codec, payloads)
+		writeUvarint(&buf, uint64(gw))
+		for i := 0; gw > 0 && i < len(payloads); i++ {
+			var prev uint32
+			for g, o := range flat[bases[i]:bases[i+1]] {
+				if g == 0 {
+					writeUvarint(&buf, uint64(o))
+				} else {
+					writeUvarint(&buf, uint64(o-prev))
+				}
+				prev = o
+			}
+		}
+	}
+	if version != VersionV1 {
 		writeUvarint(&buf, off)
 		for _, pay := range payloads {
 			buf.Write(pay)
 		}
 	}
 	return buf.Bytes(), nil
+}
+
+// groupDirectory computes the v3 sub-block group directory: for a
+// group-capable codec, every block payload's group start offsets
+// (ceil(words/groupWords) per block), flattened in block order so block
+// i's offsets sit at flat[bases[i]:bases[i+1]] — two allocations total,
+// keeping the pack alloc budget per-block-linear. Any payload the codec
+// cannot slice disables the directory for the whole container —
+// groupWords 0 — and readers fall back to full-block decode; block
+// images are always whole words, so for the built-in group codecs that
+// never happens in practice.
+func groupDirectory(codec compress.Codec, payloads [][]byte) (gw int, flat []uint32, bases []int) {
+	gc, ok := compress.AsGroupCodec(codec)
+	if !ok {
+		return 0, nil, nil
+	}
+	bases = make([]int, len(payloads)+1)
+	for i, pay := range payloads {
+		bases[i] = len(flat)
+		var err error
+		flat, err = gc.AppendGroupOffsets(flat, pay)
+		if err != nil {
+			return 0, nil, nil
+		}
+	}
+	bases[len(payloads)] = len(flat)
+	return gc.GroupWords(), flat, bases
 }
 
 // compressBlocks compresses every block image, returning payloads and
@@ -267,11 +330,13 @@ type Info struct {
 	CompressedBytes int // total payload bytes
 	PlainBytes      int // reconstructed image size
 	ContainerBytes  int
+	GroupWords      int // v3 group directory granularity (0 = absent)
+	Groups          int // total word groups across all blocks
 }
 
 // Unpack reconstructs the program and its trained codec from a
-// container, verifying the image checksum (and, for v2, every
-// per-block checksum). Both format versions are accepted.
+// container, verifying the image checksum (and, for v2/v3, every
+// per-block checksum). All three format versions are accepted.
 func Unpack(name string, data []byte) (*program.Program, compress.Codec, *Info, error) {
 	r := &reader{data: data}
 	magic := r.take(len(Magic))
@@ -283,7 +348,7 @@ func Unpack(name string, data []byte) (*program.Program, compress.Codec, *Info, 
 		return nil, nil, nil, r.err
 	case v == VersionV1:
 		return unpackV1(name, r, len(data))
-	case v == Version:
+	case v == VersionV2 || v == Version:
 		return unpackV2(name, data)
 	default:
 		return nil, nil, nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
@@ -363,9 +428,9 @@ func unpackV1(name string, r *reader, containerBytes int) (*program.Program, com
 	return finalize(name, g, plain, wantCRC, info, codec)
 }
 
-// unpackV2 reads the indexed format: parse the metadata prefix, then
-// decompress the payload section block by block, verifying each block
-// CRC as it lands.
+// unpackV2 reads the indexed formats (v2 and v3): parse the metadata
+// prefix, then decompress the payload section block by block, verifying
+// each block CRC as it lands.
 func unpackV2(name string, data []byte) (*program.Program, compress.Codec, *Info, error) {
 	idx, err := ParseIndex(data)
 	if err != nil {
@@ -380,8 +445,9 @@ func unpackV2(name string, data []byte) (*program.Program, compress.Codec, *Info
 		return nil, nil, nil, err
 	}
 	info := &Info{
-		Version: Version, Codec: idx.Codec, Blocks: len(idx.Blocks), Edges: len(idx.Edges),
+		Version: idx.Version, Codec: idx.Codec, Blocks: len(idx.Blocks), Edges: len(idx.Edges),
 		CompressedBytes: int(idx.PayloadLen), ContainerBytes: len(data),
+		GroupWords: idx.GroupWords, Groups: idx.NumGroups(),
 	}
 	g := cfg.New()
 	// The index fixes the exact plain-image size up front, so the image

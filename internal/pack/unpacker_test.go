@@ -334,6 +334,7 @@ func TestUnpackRejectsHugeWordsClaim(t *testing.T) {
 		writeUvarint(&buf, 0) // payload len
 		writeFixed32(&buf, 0) // block CRC
 		writeUvarint(&buf, 0) // nedges
+		writeUvarint(&buf, 0) // group words (no directory)
 		writeUvarint(&buf, 0) // payload section length
 		return buf.Bytes()
 	}

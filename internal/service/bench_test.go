@@ -294,6 +294,117 @@ func BenchmarkBlockSource(b *testing.B) {
 	}
 }
 
+// BenchmarkWordRead prices the v3 sub-block serving path against what
+// it replaces: serving a single word (or a 16-word span) through the
+// container's group directory — one bounded ReadAt plus one-group
+// decode — versus decoding the whole 16 KiB block through the index
+// (l2-index-read) or re-running the compressor (full-rebuild). The
+// acceptance bar is the word read coming in an order of magnitude
+// under the whole-block decode for the group-capable codecs, at zero
+// steady-state allocations.
+func BenchmarkWordRead(b *testing.B) {
+	g := cfg.New()
+	const nblocks, words = 8, 4096 // 16 KiB blocks, production-sized
+	ids := make([]cfg.BlockID, nblocks)
+	for i := range ids {
+		ids[i] = g.AddBlock(fmt.Sprintf("b%d", i), words)
+	}
+	if err := g.SetEntry(ids[0]); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i+1 < len(ids); i++ {
+		g.MustAddEdge(ids[i], ids[i+1], cfg.EdgeJump, 1)
+	}
+	prog, err := program.Synthesize("bigblocks", g, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, codecName := range []string{"dict", "bdi", "cpack", "identity"} {
+		code, err := prog.CodeBytes()
+		if err != nil {
+			b.Fatal(err)
+		}
+		codec, err := compress.New(codecName, code)
+		if err != nil {
+			b.Fatal(err)
+		}
+		container, err := pack.Pack(prog, codec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := store.Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		key, err := st.Put(container)
+		if err != nil {
+			b.Fatal(err)
+		}
+		obj, err := st.Open(key)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !obj.HasGroupIndex() {
+			b.Fatalf("%s container has no group directory", codecName)
+		}
+		plain, err := prog.AllBlockBytes()
+		if err != nil {
+			b.Fatal(err)
+		}
+		id := len(plain) / 2
+		img := plain[id]
+
+		for _, span := range []struct {
+			name   string
+			nwords int
+		}{{"l2-word-read", 1}, {"l2-word-read-span16", 16}} {
+			b.Run(codecName+"/"+span.name, func(b *testing.B) {
+				comp := compress.GetBuf(4 << 10)
+				dst := compress.GetBuf(span.nwords * 4)
+				defer func() {
+					compress.PutBuf(comp)
+					compress.PutBuf(dst)
+				}()
+				word := words/2 + 3 // mid-block, mid-group
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := obj.ReadWordRange(codec, id, word, span.nwords, comp[:0], dst[:0]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+		b.Run(codecName+"/l2-index-read", func(b *testing.B) {
+			scratch := compress.GetBuf(len(img))
+			comps := compress.GetBuf(codec.MaxCompressedLen(len(img)))
+			defer func() {
+				compress.PutBuf(scratch)
+				compress.PutBuf(comps)
+			}()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := obj.VerifiedBlock(codec, id, comps[:0], scratch[:0]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(codecName+"/full-rebuild", func(b *testing.B) {
+			scratch := compress.GetBuf(codec.MaxCompressedLen(len(img)))
+			defer compress.PutBuf(scratch)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := codec.CompressAppend(scratch[:0], img); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		obj.Close()
+	}
+}
+
 // BenchmarkStartup compares what a restarted server pays to get its
 // first (workload, codec) container ready: a cold start runs the
 // packer and the verification unpack; a warm start against a

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
 	"strconv"
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"apbcc/internal/compress"
+	"apbcc/internal/isa"
 	"apbcc/internal/pack"
 	"apbcc/internal/trace"
 )
@@ -39,6 +41,12 @@ type LoadConfig struct {
 	// Client optionally overrides the HTTP client (tests inject the
 	// httptest server's client).
 	Client *http.Client
+	// WordFrac, in (0, 1], is the fraction of block visits issued as
+	// sub-block word reads (?word=W&words=N) instead of full-block
+	// fetches — the wordread scenario. Start words are zipf-distributed
+	// (hot words dominate, like hot basic-block heads dominate real
+	// access patterns) and spans are 1-4 words. 0 disables.
+	WordFrac float64
 	// TraceOut, when non-nil, receives one JSON line per block fetch
 	// with the server's trace id and per-stage attribution parsed from
 	// the X-Apcc-Trace / X-Apcc-Stages response headers — the raw
@@ -55,10 +63,15 @@ type FetchRecord struct {
 	Block    int              `json:"block"`
 	Codec    string           `json:"codec"`
 	TotalNS  int64            `json:"total_ns"`         // client-observed fetch latency
-	Cache    string           `json:"cache,omitempty"`  // X-Apcc-Cache: hit | miss
+	Cache    string           `json:"cache,omitempty"`  // X-Apcc-Cache: hit | miss | bypass
 	TraceID  uint64           `json:"trace,omitempty"`  // X-Apcc-Trace (0 if tracing off)
 	Stages   map[string]int64 `json:"stages,omitempty"` // stage -> exclusive ns, from X-Apcc-Stages
-	Err      string           `json:"err,omitempty"`
+	// Word/Words carry the requested span of a word read. Words > 0
+	// marks the row as a word read (an absent "word" field then means
+	// the span starts at word 0); both are absent on full-block fetches.
+	Word  int    `json:"word,omitempty"`
+	Words int    `json:"words,omitempty"`
+	Err   string `json:"err,omitempty"`
 }
 
 // traceSink serializes FetchRecord JSONL writes from all clients.
@@ -107,7 +120,8 @@ func parseStagesHeader(h string) map[string]int64 {
 // LoadStats aggregates a load run.
 type LoadStats struct {
 	Clients    int
-	Requests   int64 // block fetches issued
+	Requests   int64 // fetches issued (block + word reads)
+	WordReads  int64 // sub-block word reads among Requests
 	Errors     int64 // transport errors, bad statuses, verify failures
 	Bytes      int64 // compressed payload bytes received
 	CacheHits  int64 // responses marked X-Apcc-Cache: hit
@@ -173,6 +187,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadStats, error) {
 			mu.Lock()
 			defer mu.Unlock()
 			stats.Requests += cs.requests
+			stats.WordReads += cs.wordReads
 			stats.Errors += cs.errors
 			stats.Bytes += cs.bytes
 			stats.CacheHits += cs.hits
@@ -192,8 +207,8 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadStats, error) {
 }
 
 type clientStats struct {
-	requests, errors, bytes, hits int64
-	firstError                    error
+	requests, wordReads, errors, bytes, hits int64
+	firstError                               error
 }
 
 // runClient is one simulated device: fetch container, verify, replay
@@ -231,9 +246,26 @@ func runClient(ctx context.Context, client *http.Client, cfg LoadConfig, workloa
 	}
 	scratch := compress.GetBuf(maxBlock)
 	defer func() { compress.PutBuf(scratch) }()
+	// The wordread scenario draws start words from a zipf over the
+	// largest block's word range (folded into each block's own range):
+	// a few hot words soak up most probes, the tail keeps every group
+	// of the directory warm. Seeded per client, like the block walk.
+	var rng *rand.Rand
+	var zipf *rand.Zipf
+	if cfg.WordFrac > 0 && maxBlock/isa.WordSize > 1 {
+		rng = rand.New(rand.NewSource(seed + 0x77647264))
+		zipf = rand.NewZipf(rng, 1.2, 1, uint64(maxBlock/isa.WordSize-1))
+	}
 	for _, blockID := range tr.Blocks {
 		if ctx.Err() != nil {
 			return cs, ctx.Err()
+		}
+		if zipf != nil && rng.Float64() < cfg.WordFrac {
+			var werr error
+			if werr = fetchWordSpan(ctx, client, cfg, workload, int(blockID), want[blockID], rng, zipf, lat, sink, &cs, id); werr != nil && cs.firstError == nil {
+				cs.firstError = werr
+			}
+			continue
 		}
 		url := fmt.Sprintf("%s/v1/block/%s/%d?codec=%s", cfg.BaseURL, workload, blockID, cfg.Codec)
 		t0 := time.Now()
@@ -282,6 +314,60 @@ func runClient(ctx context.Context, client *http.Client, cfg LoadConfig, workloa
 		}
 	}
 	return cs, nil
+}
+
+// fetchWordSpan issues one sub-block word read and verifies the plain
+// span bytes against the client's own unpacked image plus the CRC
+// header. Word-read errors count like block-fetch errors; the JSONL
+// row carries the requested span.
+func fetchWordSpan(ctx context.Context, client *http.Client, cfg LoadConfig, workload string, blockID int, want []byte, rng *rand.Rand, zipf *rand.Zipf, lat *Histogram, sink *traceSink, cs *clientStats, id int) error {
+	blockWords := len(want) / isa.WordSize
+	word := int(zipf.Uint64()) % blockWords
+	nwords := 1 + rng.Intn(4)
+	if nwords > blockWords-word {
+		nwords = blockWords - word
+	}
+	url := fmt.Sprintf("%s/v1/block/%s/%d?codec=%s&word=%d&words=%d",
+		cfg.BaseURL, workload, blockID, cfg.Codec, word, nwords)
+	t0 := time.Now()
+	body, hdr, err := fetch(ctx, client, url)
+	elapsed := time.Since(t0)
+	lat.Observe(elapsed)
+	cs.requests++
+	cs.wordReads++
+	var rec *FetchRecord
+	if sink != nil {
+		rec = &FetchRecord{
+			Client: id, Workload: workload, Block: blockID, Codec: cfg.Codec,
+			TotalNS: int64(elapsed), Word: word, Words: nwords,
+		}
+		defer sink.write(rec)
+	}
+	if err == nil {
+		cs.bytes += int64(len(body))
+		wantSpan := want[word*isa.WordSize : (word+nwords)*isa.WordSize]
+		if !bytes.Equal(body, wantSpan) {
+			err = fmt.Errorf("word span bytes differ from the unpacked image")
+		} else if h := hdr.Get(HeaderCRC); h != "" {
+			if crc, perr := strconv.ParseUint(h, 16, 32); perr != nil || crc32.ChecksumIEEE(body) != uint32(crc) {
+				err = fmt.Errorf("word span crc mismatch (%s=%q)", HeaderCRC, h)
+			}
+		}
+	}
+	if err != nil {
+		cs.errors++
+		err = fmt.Errorf("block %d word %d+%d: %w", blockID, word, nwords, err)
+		if rec != nil {
+			rec.Err = err.Error()
+		}
+		return err
+	}
+	if rec != nil {
+		rec.Cache = hdr.Get(HeaderCache)
+		rec.TraceID, _ = strconv.ParseUint(hdr.Get(HeaderTrace), 10, 64)
+		rec.Stages = parseStagesHeader(hdr.Get(HeaderStages))
+	}
+	return nil
 }
 
 // verifyBlock decompresses a served payload into scratch and checks it

@@ -156,6 +156,12 @@ type Metrics struct {
 	Blocks    atomic.Int64 // block fetches served
 	BytesSent atomic.Int64 // payload bytes written
 
+	// Word-granular serving counters (the v3 sub-block path; word reads
+	// bypass the L1 block cache entirely).
+	WordReads      atomic.Int64 // word-span requests served from any source
+	StoreWordReads atomic.Int64 // word spans served through the store's group directory
+	WordFallbacks  atomic.Int64 // word spans served by slicing the in-memory image
+
 	// L2 disk-store tier counters (all zero when no store is configured).
 	StoreWarm      atomic.Int64 // entries restored from the store without packing
 	StorePersists  atomic.Int64 // containers persisted to the store
@@ -279,6 +285,7 @@ func (m *Metrics) WriteTables(w io.Writer, cache CacheStats, pool PoolStats, st 
 	svc.AddRow("in_flight", m.InFlight.Load())
 	svc.AddRow("packs_built_total", m.Packs.Load())
 	svc.AddRow("blocks_served_total", m.Blocks.Load())
+	svc.AddRow("word_reads_total", m.WordReads.Load())
 	svc.AddRow("payload_bytes_total", m.BytesSent.Load())
 
 	ct := report.NewTable("block cache", "metric", "value")
@@ -317,6 +324,8 @@ func (m *Metrics) WriteTables(w io.Writer, cache CacheStats, pool PoolStats, st 
 		dt.AddRow("readahead_admitted", m.StoreReadahead.Load())
 		dt.AddRow("block_reads", st.BlockReads)
 		dt.AddRow("block_read_bytes", st.BlockBytes)
+		dt.AddRow("word_reads", st.WordReads)
+		dt.AddRow("word_read_bytes", st.WordReadBytes)
 		dt.AddRow("put_bytes", st.PutBytes)
 		dt.AddRow("quarantined", st.Quarantined)
 		tables = append(tables, dt)

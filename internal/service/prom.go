@@ -44,6 +44,10 @@ func (m *Metrics) WriteProm(w io.Writer, cache CacheStats, pool PoolStats, st *s
 	p.Sample("apcc_blocks_served_total", nil, float64(m.Blocks.Load()))
 	p.Family("apcc_payload_bytes_total", "counter", "Payload bytes written to clients.")
 	p.Sample("apcc_payload_bytes_total", nil, float64(m.BytesSent.Load()))
+	p.Family("apcc_word_reads_total", "counter",
+		"Word-span reads served, by source (store = v3 group directory, memory = entry plain image).")
+	p.Sample("apcc_word_reads_total", []obs.Label{{Name: "source", Value: "store"}}, float64(m.StoreWordReads.Load()))
+	p.Sample("apcc_word_reads_total", []obs.Label{{Name: "source", Value: "memory"}}, float64(m.WordFallbacks.Load()))
 
 	p.Family("apcc_cache_events_total", "counter", "Block-cache events by kind.")
 	for _, e := range []struct {
@@ -108,6 +112,10 @@ func (m *Metrics) WriteProm(w io.Writer, cache CacheStats, pool PoolStats, st *s
 		p.Sample("apcc_store_block_reads_total", nil, float64(st.BlockReads))
 		p.Family("apcc_store_block_read_bytes_total", "counter", "Compressed bytes read from store objects.")
 		p.Sample("apcc_store_block_read_bytes_total", nil, float64(st.BlockBytes))
+		p.Family("apcc_store_word_reads_total", "counter", "Word-group reads through store objects' group directories.")
+		p.Sample("apcc_store_word_reads_total", nil, float64(st.WordReads))
+		p.Family("apcc_store_word_read_bytes_total", "counter", "Compressed bytes read by word-group reads.")
+		p.Sample("apcc_store_word_read_bytes_total", nil, float64(st.WordReadBytes))
 		p.Family("apcc_store_put_bytes_total", "counter", "Bytes written to the store.")
 		p.Sample("apcc_store_put_bytes_total", nil, float64(st.PutBytes))
 		p.Family("apcc_store_quarantined_total", "counter", "Objects quarantined as corrupt.")

@@ -34,7 +34,13 @@ const (
 	HeaderCodec = "X-Apcc-Codec" // codec the payload was compressed with
 	HeaderWords = "X-Apcc-Words" // plain size in ERI32 words
 	HeaderCRC   = "X-Apcc-Crc32" // IEEE CRC-32 of the plain block image
-	HeaderCache = "X-Apcc-Cache" // hit | miss
+	HeaderCache = "X-Apcc-Cache" // hit | miss; "bypass" on word reads
+	// HeaderWord and HeaderSource are set only on word-read responses
+	// (?word=W&words=N): the span's first word index, and whether the
+	// bytes came through the store's v3 group directory ("store") or by
+	// slicing the entry's in-memory image ("memory").
+	HeaderWord   = "X-Apcc-Word"
+	HeaderSource = "X-Apcc-Source"
 	// HeaderTrace and HeaderStages are only set when tracing is enabled:
 	// the request's trace id (correlate with /debug/trace) and its
 	// per-stage exclusive nanoseconds as "stage:ns;..." — everything but
@@ -481,6 +487,10 @@ func (s *Server) handleBlock(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	tr.SetLabels(r.PathValue("workload"), ent.codec.Name(), id)
+	if r.URL.Query().Get("word") != "" {
+		s.serveWordRange(ctx, w, r, tr, rsp, ent, id)
+		return
+	}
 	plain := ent.plain[id]
 	// The modeled compression cost is what a miss on this key costs
 	// the server; cost-aware replacement weighs it against the bytes.
@@ -557,6 +567,125 @@ func (s *Server) handleBlock(w http.ResponseWriter, r *http.Request) {
 	s.finishTrace(tr, outcome)
 }
 
+// wordReadCompGuess pre-sizes the pooled compressed-bytes buffer for a
+// word read: small spans cover a handful of groups, far below one
+// block's payload.
+const wordReadCompGuess = 4 << 10
+
+// errWordMismatch marks a store word read whose decoded bytes differ
+// from the entry's verified in-memory image.
+var errWordMismatch = errors.New("word span differs from the entry's plain image")
+
+// serveWordRange handles ?word=W&words=N on the block endpoint — the
+// sub-block serving path. The response is the span's *plain* bytes
+// (N×4), not a compressed payload: a word read exists precisely so the
+// client skips its own full-block decode. The read prefers the store's
+// v3 group directory (a bounded ReadAt plus per-group decode, traced
+// as l2-word-read) and cross-checks the result against the entry's
+// in-memory image — a partial decode has no CRC of its own, so the
+// image is the integrity authority, and a mismatch quarantines the
+// object before the memory copy is served instead. Word reads never
+// touch the L1 block cache in either direction: the cache holds whole
+// compressed blocks for full-block serving, and letting sub-block
+// probes admit or promote entries would let a word-scanning client
+// evict the real working set (pinned by TestWordReadDoesNotTouchL1).
+func (s *Server) serveWordRange(ctx context.Context, w http.ResponseWriter, r *http.Request, tr *obs.Trace, rsp obs.SpanHandle, ent *entry, id int) {
+	q := r.URL.Query()
+	word, err := strconv.Atoi(q.Get("word"))
+	nwords := 1
+	if err == nil {
+		if ws := q.Get("words"); ws != "" {
+			nwords, err = strconv.Atoi(ws)
+		}
+	}
+	blockWords := len(ent.plain[id]) / isa.WordSize
+	if err != nil || word < 0 || nwords < 1 || word > blockWords-nwords {
+		rsp.End(obs.OutcomeError)
+		s.finishTrace(tr, obs.OutcomeError)
+		http.Error(w, fmt.Sprintf("bad word range word=%q words=%q (block %d has %d words)",
+			q.Get("word"), q.Get("words"), id, blockWords), http.StatusBadRequest)
+		return
+	}
+	rsp.End(obs.OutcomeOK)
+	dst := compress.GetBuf(nwords * isa.WordSize)
+	defer func() { compress.PutBuf(dst) }()
+	span, fromStore := s.wordSpanFromStore(ctx, ent, id, word, nwords, dst[:0])
+	source := "store"
+	if fromStore {
+		dst = span // recycle the (possibly grown) buffer
+		s.metrics.StoreWordReads.Add(1)
+	} else {
+		// Fallback: slice the verified in-memory image directly (v2
+		// containers, non-group codecs, detached or absent objects).
+		span = ent.plain[id][word*isa.WordSize : (word+nwords)*isa.WordSize]
+		source = "memory"
+		s.metrics.WordFallbacks.Add(1)
+	}
+	s.metrics.WordReads.Add(1)
+	wsp := tr.Begin(obs.StageWrite)
+	h := w.Header()
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set(HeaderCodec, ent.codec.Name())
+	h.Set(HeaderWords, strconv.Itoa(nwords))
+	h.Set(HeaderWord, strconv.Itoa(word))
+	h.Set(HeaderSource, source)
+	h.Set(HeaderCRC, fmt.Sprintf("%08x", crc32.ChecksumIEEE(span)))
+	h.Set(HeaderCache, "bypass")
+	if tr != nil {
+		h.Set(HeaderTrace, strconv.FormatUint(tr.TraceID(), 10))
+		h.Set(HeaderStages, stagesHeader(tr.Spans()))
+	}
+	w.Write(span)
+	wsp.End(obs.OutcomeOK)
+	s.finishTrace(tr, obs.OutcomeOK)
+}
+
+// wordSpanFromStore reads [word, word+nwords) of block id through the
+// entry's store object and its container's v3 group directory,
+// appending the plain bytes to dst. It reports false — fall back to
+// the in-memory image — when there is no attached object, the
+// container predates v3 or its codec cannot decode groups, or the read
+// fails. Read errors other than ErrNoGroupIndex and any cross-check
+// mismatch detach and quarantine the object, exactly like a failed
+// block verify in blockFromStore: a store that cannot reproduce the
+// entry's bytes must not serve anyone again.
+func (s *Server) wordSpanFromStore(ctx context.Context, ent *entry, id, word, nwords int, dst []byte) ([]byte, bool) {
+	obj := ent.obj.Load()
+	if obj == nil || !obj.HasGroupIndex() {
+		return dst, false
+	}
+	comp := compress.GetBuf(wordReadCompGuess)
+	defer func() { compress.PutBuf(comp) }()
+	base := len(dst)
+	var plain []byte
+	comp, plain, err := obj.ReadWordRangeCtx(ctx, ent.codec, id, word, nwords, comp[:0], dst)
+	if err != nil {
+		if !errors.Is(err, pack.ErrNoGroupIndex) {
+			s.detachObject(obs.FromContext(ctx), ent, obj, id, "word range read", err)
+		}
+		return dst, false
+	}
+	if !bytes.Equal(plain[base:], ent.plain[id][word*isa.WordSize:(word+nwords)*isa.WordSize]) {
+		s.detachObject(obs.FromContext(ctx), ent, obj, id, "word range cross-check", errWordMismatch)
+		return dst, false
+	}
+	return plain, true
+}
+
+// detachObject quarantines a store object that failed verification and
+// detaches it from the entry (first failure wins; later racers no-op),
+// degrading that entry to rebuilds and in-memory serving instead of
+// retrying corrupt disk forever.
+func (s *Server) detachObject(tr *obs.Trace, ent *entry, obj *store.Object, block int, what string, err error) {
+	if ent.obj.CompareAndSwap(obj, nil) {
+		s.store.Quarantine(obj.Key())
+		obj.Close()
+		tr.Event(obs.StageQuarantine, obs.OutcomeCorrupt)
+		s.log.Warn("store object quarantined, detaching from entry",
+			"key", shortKey(obj.Key()), "block", block, "what", what, "err", err)
+	}
+}
+
 // stagesHeader renders a trace's spans as "stage:exclNS;..." for the
 // X-Apcc-Stages header. The write span is still open while the header
 // is rendered, so it is omitted — /debug/trace has it.
@@ -622,13 +751,7 @@ func (s *Server) blockFromStore(ctx context.Context, ent *entry, id int) ([]byte
 	}
 	tr := obs.FromContext(ctx)
 	detach := func(what string, err error) {
-		if ent.obj.CompareAndSwap(obj, nil) {
-			s.store.Quarantine(obj.Key())
-			obj.Close()
-			tr.Event(obs.StageQuarantine, obs.OutcomeCorrupt)
-			s.log.Warn("store object quarantined, detaching from entry",
-				"key", shortKey(obj.Key()), "block", id, "what", what, "err", err)
-		}
+		s.detachObject(tr, ent, obj, id, what, err)
 	}
 	idx := obj.Index()
 	// Plan the coalesced span: forward readahead candidates inside the

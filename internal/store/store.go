@@ -45,14 +45,16 @@ var (
 
 // Stats is a point-in-time aggregate of store activity since Open.
 type Stats struct {
-	Objects     int   // resident objects
-	Refs        int   // named references
-	Puts        int64 // Put calls that wrote a new object
-	PutBytes    int64 // bytes written by those Puts
-	Gets        int64 // whole-object reads
-	BlockReads  int64 // single-block payload reads through the index
-	BlockBytes  int64 // compressed bytes served by those reads
-	Quarantined int64 // objects moved aside (fsck + read-time verify)
+	Objects       int   // resident objects
+	Refs          int   // named references
+	Puts          int64 // Put calls that wrote a new object
+	PutBytes      int64 // bytes written by those Puts
+	Gets          int64 // whole-object reads
+	BlockReads    int64 // single-block payload reads through the index
+	BlockBytes    int64 // compressed bytes served by those reads
+	WordReads     int64 // sub-block word-span reads through the v3 group directory
+	WordReadBytes int64 // compressed bytes read to serve those spans
+	Quarantined   int64 // objects moved aside (fsck + read-time verify)
 }
 
 // Store is a content-addressed container store rooted at one
@@ -65,6 +67,7 @@ type Store struct {
 
 	puts, putBytes, gets         atomic.Int64
 	blockReads, blockBytes, quar atomic.Int64
+	wordReads, wordReadBytes     atomic.Int64
 }
 
 // Open opens (creating if needed) the store rooted at dir and runs the
@@ -385,6 +388,50 @@ func (o *Object) ReadBlockRangeCtx(ctx context.Context, lo, hi int, dst []byte) 
 	return out, err
 }
 
+// HasGroupIndex reports whether the container carries a v3 group
+// directory, i.e. whether ReadWordRange can serve sub-block spans.
+func (o *Object) HasGroupIndex() bool { return o.idx.HasGroupIndex() }
+
+// ReadWordRange serves a sub-block word span through the container's
+// v3 group directory: one ReadAt of exactly the covering word groups'
+// compressed bytes, one group decode each — the rest of the block never
+// leaves disk. The span's plain bytes are appended to plainDst, the
+// compressed group bytes to compDst (pass pooled buffers to stay
+// allocation-free); both grown slices are returned. Containers without
+// a directory (v2, entropy codecs) fail with pack.ErrNoGroupIndex —
+// callers fall back to a full VerifiedBlock. No per-block CRC covers a
+// partial decode, so callers with an independent copy of the plain
+// image should cross-check the span before serving it.
+func (o *Object) ReadWordRange(codec compress.Codec, block, word, nwords int, compDst, plainDst []byte) (comp, plain []byte, err error) {
+	cbase := len(compDst)
+	comp, plain, err = o.idx.ReadWordRangeAt(o.f, codec, block, word, nwords, compDst, plainDst)
+	if err != nil {
+		return comp, plain, err
+	}
+	o.store.wordReads.Add(1)
+	o.store.wordReadBytes.Add(int64(len(comp) - cbase))
+	return comp, plain, nil
+}
+
+// ReadWordRangeCtx is ReadWordRange with the read-plus-decode timed as
+// a StageWordRead span on the context's trace (outcome "ok" or
+// "error"). With no trace attached it costs exactly a ReadWordRange
+// call.
+func (o *Object) ReadWordRangeCtx(ctx context.Context, codec compress.Codec, block, word, nwords int, compDst, plainDst []byte) (comp, plain []byte, err error) {
+	tr := obs.FromContext(ctx)
+	if tr == nil {
+		return o.ReadWordRange(codec, block, word, nwords, compDst, plainDst)
+	}
+	sp := tr.Begin(obs.StageWordRead)
+	comp, plain, err = o.ReadWordRange(codec, block, word, nwords, compDst, plainDst)
+	if err != nil {
+		sp.End(obs.OutcomeError)
+	} else {
+		sp.End(obs.OutcomeOK)
+	}
+	return comp, plain, err
+}
+
 // VerifiedBlock reads block i's compressed payload appending it to
 // compDst, proves it decompresses to a plain image matching the
 // index's length and CRC appending that image to plainDst, and returns
@@ -411,13 +458,15 @@ func (s *Store) Stats() Stats {
 	refs := len(s.refs)
 	s.mu.Unlock()
 	st := Stats{
-		Refs:        refs,
-		Puts:        s.puts.Load(),
-		PutBytes:    s.putBytes.Load(),
-		Gets:        s.gets.Load(),
-		BlockReads:  s.blockReads.Load(),
-		BlockBytes:  s.blockBytes.Load(),
-		Quarantined: s.quar.Load(),
+		Refs:          refs,
+		Puts:          s.puts.Load(),
+		PutBytes:      s.putBytes.Load(),
+		Gets:          s.gets.Load(),
+		BlockReads:    s.blockReads.Load(),
+		BlockBytes:    s.blockBytes.Load(),
+		WordReads:     s.wordReads.Load(),
+		WordReadBytes: s.wordReadBytes.Load(),
+		Quarantined:   s.quar.Load(),
 	}
 	fans, err := os.ReadDir(filepath.Join(s.dir, "objects"))
 	if err != nil {
