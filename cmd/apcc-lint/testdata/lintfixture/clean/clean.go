@@ -1,0 +1,11 @@
+// Package clean has no violations: the smoke test asserts apcc-lint
+// exits 0 over it.
+package clean
+
+import "lintfixture/internal/compress"
+
+func RoundTrip(n int) int {
+	buf := compress.GetBuf(n)
+	defer compress.PutBuf(buf)
+	return cap(buf)
+}

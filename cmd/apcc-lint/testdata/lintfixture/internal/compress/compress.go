@@ -1,0 +1,13 @@
+// Package compress mirrors the repo's pool API inside the smoke-test
+// fixture module: the analyzers match GetBuf/PutBuf/ErrCorrupt by the
+// internal/compress path suffix, so this module exercises the same
+// code paths apcc-lint runs against the real tree.
+package compress
+
+import "errors"
+
+var ErrCorrupt = errors.New("compress: corrupt input")
+
+func GetBuf(n int) []byte { return make([]byte, 0, n) }
+
+func PutBuf(b []byte) {}

@@ -1,0 +1,11 @@
+// Package pack seeds a corrupterr violation for the smoke test.
+package pack
+
+import "errors"
+
+func DecodeHeader(b []byte) error {
+	if len(b) == 0 {
+		return errors.New("pack: empty header") // naked error in a decode path
+	}
+	return nil
+}

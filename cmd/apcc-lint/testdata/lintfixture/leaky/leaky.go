@@ -1,0 +1,13 @@
+// Package leaky seeds a bufpool violation for the smoke test.
+package leaky
+
+import "lintfixture/internal/compress"
+
+func Leak(n int) int {
+	buf := compress.GetBuf(n)
+	if n > 1024 {
+		return 0 // leaks buf
+	}
+	compress.PutBuf(buf)
+	return 1
+}

@@ -1,10 +1,12 @@
 // Command apcc-obslint validates observability artifacts: a Prometheus
 // text-exposition scrape (/metrics/prom) and/or a /debug/trace JSON
-// dump. It exits non-zero on any malformed exposition, invalid span
-// tree, or — with -min-spans — a trace dump carrying fewer spans than
-// required. The CI smoke job runs it against a live server so a broken
+// dump. The CI smoke job runs it against a live server so a broken
 // exposition or silently-dead tracing fails the build instead of a
 // dashboard.
+//
+// Exit status follows the repo's lint-tool convention: 0 = artifacts
+// are valid, 1 = lint findings (malformed exposition, invalid span
+// tree, too few spans), 2 = usage or IO error.
 //
 // Usage:
 //
@@ -16,54 +18,71 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"apbcc/internal/obs"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("apcc-obslint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		promFile  = flag.String("prom", "", "Prometheus exposition file to lint")
-		traceFile = flag.String("trace", "", "/debug/trace JSON dump to lint")
-		minSpans  = flag.Int("min-spans", 0, "fail unless the trace dump carries at least this many spans")
+		promFile  = fs.String("prom", "", "Prometheus exposition file to lint")
+		traceFile = fs.String("trace", "", "/debug/trace JSON dump to lint")
+		minSpans  = fs.Int("min-spans", 0, "fail unless the trace dump carries at least this many spans")
 	)
-	flag.Parse()
-	if *promFile == "" && *traceFile == "" {
-		fatal(fmt.Errorf("nothing to lint: pass -prom and/or -trace"))
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "apcc-obslint: unexpected arguments %q\n", fs.Args())
+		return 2
+	}
+	if *promFile == "" && *traceFile == "" {
+		fmt.Fprintln(stderr, "apcc-obslint: nothing to lint: pass -prom and/or -trace")
+		return 2
+	}
+
 	if *promFile != "" {
 		f, err := os.Open(*promFile)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "apcc-obslint:", err)
+			return 2
 		}
 		samples, err := obs.LintProm(f)
 		f.Close()
 		if err != nil {
-			fatal(fmt.Errorf("%s: %w", *promFile, err))
+			fmt.Fprintf(stderr, "apcc-obslint: %s: %v\n", *promFile, err)
+			return 1
 		}
 		if samples == 0 {
-			fatal(fmt.Errorf("%s: no samples", *promFile))
+			fmt.Fprintf(stderr, "apcc-obslint: %s: no samples\n", *promFile)
+			return 1
 		}
-		fmt.Printf("apcc-obslint: %s: %d samples ok\n", *promFile, samples)
+		fmt.Fprintf(stdout, "apcc-obslint: %s: %d samples ok\n", *promFile, samples)
 	}
 	if *traceFile != "" {
 		f, err := os.Open(*traceFile)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "apcc-obslint:", err)
+			return 2
 		}
 		traces, spans, err := obs.LintTraceDump(f)
 		f.Close()
 		if err != nil {
-			fatal(fmt.Errorf("%s: %w", *traceFile, err))
+			fmt.Fprintf(stderr, "apcc-obslint: %s: %v\n", *traceFile, err)
+			return 1
 		}
 		if spans < *minSpans {
-			fatal(fmt.Errorf("%s: %d spans across %d traces, want >= %d", *traceFile, spans, traces, *minSpans))
+			fmt.Fprintf(stderr, "apcc-obslint: %s: %d spans across %d traces, want >= %d\n", *traceFile, spans, traces, *minSpans)
+			return 1
 		}
-		fmt.Printf("apcc-obslint: %s: %d traces, %d spans ok\n", *traceFile, traces, spans)
+		fmt.Fprintf(stdout, "apcc-obslint: %s: %d traces, %d spans ok\n", *traceFile, traces, spans)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "apcc-obslint:", err)
-	os.Exit(1)
+	return 0
 }

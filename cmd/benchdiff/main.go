@@ -10,15 +10,17 @@
 //
 //	benchdiff [-max-regress 10] [-min-ns 1000] base.txt head.txt
 //
-// Exit status 1 means at least one benchmark common to both captures
+// Exit status follows the repo's lint-tool convention: 0 = no
+// regressions, 1 = at least one benchmark common to both captures
 // slowed down by more than -max-regress percent (after the -min-ns
-// noise floor).
+// noise floor), 2 = usage or IO error.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"sort"
@@ -63,22 +65,30 @@ func parseBench(path string) (map[string]float64, error) {
 }
 
 func main() {
-	maxRegress := flag.Float64("max-regress", 10, "fail when a common benchmark's ns/op grows by more than this percent")
-	minNS := flag.Float64("min-ns", 1000, "ignore regressions where both sides are below this many ns/op (noise floor)")
-	flag.Parse()
-	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-max-regress PCT] [-min-ns NS] base.txt head.txt")
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	maxRegress := fs.Float64("max-regress", 10, "fail when a common benchmark's ns/op grows by more than this percent")
+	minNS := fs.Float64("min-ns", 1000, "ignore regressions where both sides are below this many ns/op (noise floor)")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	base, err := parseBench(flag.Arg(0))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchdiff:", err)
-		os.Exit(2)
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: benchdiff [-max-regress PCT] [-min-ns NS] base.txt head.txt")
+		return 2
 	}
-	head, err := parseBench(flag.Arg(1))
+	base, err := parseBench(fs.Arg(0))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchdiff:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+	head, err := parseBench(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
 	}
 
 	names := make([]string, 0, len(base)+len(head))
@@ -95,15 +105,15 @@ func main() {
 	sort.Strings(names)
 
 	failed := false
-	fmt.Printf("%-55s %14s %14s %9s\n", "benchmark", "base ns/op", "head ns/op", "delta")
+	fmt.Fprintf(stdout, "%-55s %14s %14s %9s\n", "benchmark", "base ns/op", "head ns/op", "delta")
 	for _, n := range names {
 		b, inBase := base[n]
 		h, inHead := head[n]
 		switch {
 		case !inBase:
-			fmt.Printf("%-55s %14s %14.1f %9s\n", n, "-", h, "new")
+			fmt.Fprintf(stdout, "%-55s %14s %14.1f %9s\n", n, "-", h, "new")
 		case !inHead:
-			fmt.Printf("%-55s %14.1f %14s %9s\n", n, b, "-", "gone")
+			fmt.Fprintf(stdout, "%-55s %14.1f %14s %9s\n", n, b, "-", "gone")
 		default:
 			delta := (h - b) / b * 100
 			mark := ""
@@ -111,12 +121,13 @@ func main() {
 				mark = "  << REGRESSION"
 				failed = true
 			}
-			fmt.Printf("%-55s %14.1f %14.1f %+8.1f%%%s\n", n, b, h, delta, mark)
+			fmt.Fprintf(stdout, "%-55s %14.1f %14.1f %+8.1f%%%s\n", n, b, h, delta, mark)
 		}
 	}
 	if failed {
-		fmt.Printf("\nFAIL: at least one tracked benchmark regressed more than %.1f%%\n", *maxRegress)
-		os.Exit(1)
+		fmt.Fprintf(stdout, "\nFAIL: at least one tracked benchmark regressed more than %.1f%%\n", *maxRegress)
+		return 1
 	}
-	fmt.Println("\nOK: no tracked benchmark regressed beyond the threshold")
+	fmt.Fprintln(stdout, "\nOK: no tracked benchmark regressed beyond the threshold")
+	return 0
 }

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -47,5 +49,38 @@ func TestParseBenchStripsGomaxprocsSuffix(t *testing.T) {
 	}
 	if _, ok := got["BenchmarkX"]; !ok {
 		t.Fatalf("suffix not stripped: %v", got)
+	}
+}
+
+// TestExitCodes pins the unified lint-tool convention: 0 = clean,
+// 1 = findings (a regression), 2 = usage/IO error.
+func TestExitCodes(t *testing.T) {
+	base := writeCapture(t, "base.txt", "BenchmarkX-8  100  5000 ns/op\n")
+	same := writeCapture(t, "same.txt", "BenchmarkX-8  100  5100 ns/op\n")
+	slow := writeCapture(t, "slow.txt", "BenchmarkX-8  100  9000 ns/op\n")
+
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"no regression", []string{base, same}, 0},
+		{"regression", []string{base, slow}, 1},
+		{"regression under noise floor", []string{"-min-ns", "100000", base, slow}, 0},
+		{"missing operand", []string{base}, 2},
+		{"unknown flag", []string{"-nosuch", base, same}, 2},
+		{"missing file", []string{base, filepath.Join(t.TempDir(), "absent.txt")}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if got := run(tc.args, &stdout, &stderr); got != tc.want {
+				t.Errorf("run(%q) = %d, want %d\nstdout: %s\nstderr: %s",
+					tc.args, got, tc.want, &stdout, &stderr)
+			}
+			if tc.want == 1 && !strings.Contains(stdout.String(), "REGRESSION") {
+				t.Errorf("regression run did not mark the row:\n%s", &stdout)
+			}
+		})
 	}
 }

@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// BufPool enforces the pooled-buffer ownership rules documented in
+// internal/compress/bufpool.go and DESIGN.md: every buffer obtained
+// from compress.GetBuf must reach compress.PutBuf on all return paths
+// of the acquiring function, and must not escape into struct fields,
+// map/slice elements, channels, goroutines, or return values unless
+// the handoff is annotated with //apcc:owns (on the escape line, the
+// line above it, or the function's doc comment), which documents that
+// ownership — including the eventual PutBuf — transfers with the
+// value.
+//
+// The tracker follows the repo's append idiom: a buffer threaded
+// through a call that returns it grown (out, err :=
+// codec.DecompressAppend(compress.GetBuf(n), comp)) stays tracked
+// under the result variable, and a deferred closure that puts a
+// variable (defer func() { compress.PutBuf(scratch) }()) covers every
+// later rebinding of that variable, matching Go's capture semantics.
+var BufPool = &Analyzer{
+	Name: "bufpool",
+	Doc:  "check that compress.GetBuf buffers are PutBuf-released on all paths and never escape without //apcc:owns",
+	Run:  runBufPool,
+}
+
+func runBufPool(pass *Pass) error {
+	files := pass.SourceFiles()
+	owns := ownsLines(pass.Fset, files)
+
+	ownsAt := func(pos ast.Node) bool {
+		p := pass.Fset.Position(pos.Pos())
+		lines := owns[p.Filename]
+		return lines != nil && (lines[p.Line] || lines[p.Line-1])
+	}
+
+	for _, file := range files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			fnOwns := docHasOwns(fn)
+			t := &pairTracker{
+				pass: pass,
+				isAcquire: func(call *ast.CallExpr) bool {
+					return isFuncNamed(funcObj(pass.TypesInfo, call), "internal/compress", "GetBuf")
+				},
+				releaseTarget: func(call *ast.CallExpr) ast.Expr {
+					if isFuncNamed(funcObj(pass.TypesInfo, call), "internal/compress", "PutBuf") && len(call.Args) == 1 {
+						return call.Args[0]
+					}
+					return nil
+				},
+				isResourceVar: func(t types.Type) bool {
+					s, ok := types.Unalias(t).Underlying().(*types.Slice)
+					if !ok {
+						return false
+					}
+					b, ok := types.Unalias(s.Elem()).Underlying().(*types.Basic)
+					return ok && b.Kind() == types.Byte
+				},
+				terminates: func(call *ast.CallExpr) bool {
+					return isTerminatorCall(pass.TypesInfo, call)
+				},
+				what:        "pooled buffer from compress.GetBuf",
+				releaseName: "compress.PutBuf",
+			}
+			t.escape = func(g *group, site ast.Node, kind string) {
+				if fnOwns || ownsAt(site) {
+					return
+				}
+				pass.Reportf(site.Pos(), "pooled buffer %s: ownership of a compress.GetBuf buffer may only leave the function under an //apcc:owns annotation", kind)
+			}
+			t.walkFunc(fn)
+		}
+	}
+	return nil
+}
+
+// docHasOwns reports whether the function's doc comment carries an
+// //apcc:owns mark, declaring the whole function an ownership
+// boundary.
+func docHasOwns(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if _, ok := cutDirective(c.Text, ownsPrefix); ok {
+			return true
+		}
+	}
+	return false
+}

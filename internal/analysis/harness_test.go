@@ -1,0 +1,201 @@
+package analysis
+
+// The analysistest-style harness: fixture packages live under
+// testdata/src/<import-path> GOPATH-style, together with tiny stub
+// packages (errors, fmt, sync, log, apbcc/internal/…) that stand in
+// for their real counterparts, so fixtures type-check hermetically —
+// no export data, no module cache, no source importer. Expected
+// diagnostics are written in the fixture itself as
+//
+//	code() // want `regexp`
+//
+// with one or more quoted (interpreted or raw) regexps per comment,
+// matched against the diagnostics reported on that line. Unmatched
+// expectations and unexpected diagnostics both fail the test.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// fixtureLoader parses and type-checks testdata/src packages, pulling
+// dependencies recursively through itself.
+type fixtureLoader struct {
+	fset *token.FileSet
+	root string
+	pkgs map[string]*types.Package
+	asts map[string][]*ast.File
+	info map[string]*types.Info
+}
+
+func newFixtureLoader() *fixtureLoader {
+	return &fixtureLoader{
+		fset: token.NewFileSet(),
+		root: filepath.Join("testdata", "src"),
+		pkgs: make(map[string]*types.Package),
+		asts: make(map[string][]*ast.File),
+		info: make(map[string]*types.Info),
+	}
+}
+
+func (l *fixtureLoader) Import(path string) (*types.Package, error) { return l.load(path) }
+
+func (l *fixtureLoader) load(path string) (*types.Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("fixture package %q: %w", path, err)
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture package %q: no Go files in %s", path, dir)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typechecking fixture %q: %w", path, err)
+	}
+	l.pkgs[path] = pkg
+	l.asts[path] = files
+	l.info[path] = info
+	return pkg, nil
+}
+
+// expectation is one want-comment regexp awaiting a diagnostic.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// collectWants parses `// want …` comments across the package's files.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue // block comments are not want-carriers
+				}
+				text, ok = strings.CutPrefix(strings.TrimSpace(text), "want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, pat := range parseWantPatterns(t, pos, text) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// parseWantPatterns splits the want payload into its quoted regexps:
+// interpreted ("…", unquoted via strconv) or raw (`…`).
+func parseWantPatterns(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var pats []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return pats
+		}
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				t.Fatalf("%s: unterminated raw pattern in want comment", pos)
+			}
+			pats = append(pats, s[1:1+end])
+			s = s[end+2:]
+		case '"':
+			qp, rest, err := cutQuoted(s)
+			if err != nil {
+				t.Fatalf("%s: bad quoted pattern in want comment: %v", pos, err)
+			}
+			pats = append(pats, qp)
+			s = rest
+		default:
+			t.Fatalf("%s: want patterns must be quoted or backquoted, got %q", pos, s)
+		}
+	}
+}
+
+// cutQuoted unquotes the leading interpreted string literal of s.
+func cutQuoted(s string) (string, string, error) {
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			lit := s[:i+1]
+			val, err := strconv.Unquote(lit)
+			return val, s[i+1:], err
+		}
+	}
+	return "", "", fmt.Errorf("unterminated string %q", s)
+}
+
+// checkFixture loads the fixture package, runs the analyzers over it,
+// and reconciles findings with the package's want comments.
+func checkFixture(t *testing.T, pkgPath string, analyzers ...*Analyzer) {
+	t.Helper()
+	l := newFixtureLoader()
+	pkg, err := l.load(pkgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, info := l.asts[pkgPath], l.info[pkgPath]
+	wants := collectWants(t, l.fset, files)
+
+	findings, err := RunAnalyzers(l.fset, files, pkg, info, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+findings:
+	for _, f := range findings {
+		for _, w := range wants {
+			if !w.matched && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+				w.matched = true
+				continue findings
+			}
+		}
+		t.Errorf("unexpected diagnostic at %s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.re)
+		}
+	}
+}

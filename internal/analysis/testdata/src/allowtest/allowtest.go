@@ -1,0 +1,16 @@
+// Package allowtest feeds allowcheck's direct test (a //apcc:allow
+// line comment runs to end-of-line, so want comments cannot share its
+// line; allowcheck_test.go asserts on positions instead).
+package allowtest
+
+//apcc:allow
+func missingName() {}
+
+//apcc:allow nosuch the analyzer does not exist
+func unknownName() {}
+
+//apcc:allow bufpool
+func missingReason() {}
+
+//apcc:allow bufpool the ring owns this buffer and recycles it on close
+func wellFormed() {}

@@ -1,0 +1,122 @@
+// Package bufpooltest is the bufpool analyzer's golden fixture:
+// compliant pool usage (straight-line, deferred, closure-deferred,
+// append-threaded, reslice-threaded), each leak and escape shape the
+// analyzer reports, and the //apcc:owns and //apcc:allow escapes.
+package bufpooltest
+
+import "apbcc/internal/compress"
+
+type holder struct{ b []byte }
+
+var (
+	h     holder
+	codec compress.Codec
+)
+
+func cond() bool { return true }
+
+// straightLine releases on its only path.
+func straightLine() {
+	buf := compress.GetBuf(64)
+	compress.PutBuf(buf)
+}
+
+// deferred covers every return path with one deferred release.
+func deferred() {
+	buf := compress.GetBuf(64)
+	defer compress.PutBuf(buf)
+	if cond() {
+		return
+	}
+}
+
+// deferredClosure re-binds the variable after deferring a closure:
+// the closure reads the final binding, so the rebinding is covered.
+func deferredClosure() {
+	buf := compress.GetBuf(64)
+	defer func() { compress.PutBuf(buf) }()
+	buf = append(buf, 1)
+}
+
+// threaded follows the append idiom: the pooled buffer lives on under
+// the call result, and releasing either alias releases it.
+func threaded() error {
+	buf := compress.GetBuf(64)
+	out, err := codec.DecompressAppend(buf, nil)
+	if err != nil {
+		compress.PutBuf(buf)
+		return err
+	}
+	compress.PutBuf(out)
+	return nil
+}
+
+// resliced threads the buffer through a reslice, the scratch[:0]
+// shape the codecs use.
+func resliced() error {
+	scratch := compress.GetBuf(64)
+	out, err := codec.CompressAppend(scratch[:0], nil)
+	if err != nil {
+		compress.PutBuf(scratch)
+		return err
+	}
+	compress.PutBuf(out)
+	return nil
+}
+
+// leakOnBranch forgets the release on the early return.
+func leakOnBranch() {
+	buf := compress.GetBuf(64) // want `pooled buffer from compress\.GetBuf is not released by compress\.PutBuf on every path`
+	if cond() {
+		return
+	}
+	compress.PutBuf(buf)
+}
+
+// discarded drops the result on the floor.
+func discarded() {
+	compress.GetBuf(64) // want `result of this call is discarded`
+}
+
+// returned hands the buffer out without declaring the transfer.
+func returned() []byte {
+	buf := compress.GetBuf(64)
+	return buf // want `pooled buffer returned: ownership of a compress\.GetBuf buffer may only leave the function under an //apcc:owns annotation`
+}
+
+// stored parks the buffer in a struct field without declaring the
+// transfer.
+func stored() {
+	buf := compress.GetBuf(64)
+	h.b = buf // want `pooled buffer stored outside the function`
+}
+
+// goCapture leaks the buffer into another goroutine.
+func goCapture() {
+	buf := compress.GetBuf(64)
+	go func() { // want `pooled buffer captured by goroutine`
+		compress.PutBuf(buf)
+	}()
+}
+
+// ownsStore declares the handoff: the holder releases the buffer.
+func ownsStore() {
+	buf := compress.GetBuf(64)
+	//apcc:owns the holder recycles the buffer when it is replaced
+	h.b = buf
+}
+
+// ownsFunc declares the whole function an ownership boundary.
+//
+//apcc:owns constructor: the returned buffer is released by holder.close
+func ownsFunc() []byte {
+	buf := compress.GetBuf(64)
+	return buf
+}
+
+// allowLeak shows a reasoned suppression of a leak finding.
+func allowLeak() {
+	//apcc:allow bufpool fixture demonstrates a reasoned suppression
+	buf := compress.GetBuf(64)
+	_ = buf
+}

@@ -1,0 +1,11 @@
+// Package errors is a minimal stub of the standard library package,
+// just enough surface for the fixtures to type-check hermetically.
+package errors
+
+type errorString struct{ s string }
+
+func (e *errorString) Error() string { return e.s }
+
+func New(text string) error { return &errorString{text} }
+
+func Is(err, target error) bool { return err == target }

@@ -1,0 +1,43 @@
+// Package pack is the corrupterr analyzer's golden fixture. Its
+// import path ends in internal/pack so the analyzer's package scoping
+// matches it the same way it matches the real decode layer.
+package pack
+
+import (
+	"errors"
+	"fmt"
+
+	"apbcc/internal/compress"
+)
+
+// Package-level sentinels are outside any function: never flagged.
+var errSetup = errors.New("pack: bad setup")
+
+// DecodeHeader mixes naked errors (flagged) with properly chained
+// ones.
+func DecodeHeader(b []byte) error {
+	if len(b) == 0 {
+		return errors.New("pack: empty header") // want `errors\.New in a decode path`
+	}
+	if b[0] > 3 {
+		return fmt.Errorf("pack: bad version %d", b[0]) // want `fmt\.Errorf without %w in a decode path`
+	}
+	if b[0] == 2 {
+		return fmt.Errorf("%w: legacy container version", compress.ErrCorrupt)
+	}
+	return errSetup
+}
+
+// parseTrailer carries a reviewed suppression.
+func parseTrailer(b []byte) error {
+	//apcc:allow corrupterr fixture demonstrates a reviewed non-corrupt decode error
+	return errors.New("pack: trailer decoding unsupported")
+}
+
+// BuildIndex is not a decode-path name: free to mint plain errors.
+func BuildIndex(n int) error {
+	if n < 0 {
+		return errors.New("pack: negative index size")
+	}
+	return nil
+}

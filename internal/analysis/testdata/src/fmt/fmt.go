@@ -1,0 +1,9 @@
+// Package fmt is a minimal stub of the standard library package,
+// just enough surface for the fixtures to type-check hermetically.
+package fmt
+
+func Errorf(format string, a ...any) error { return nil }
+
+func Sprintf(format string, a ...any) string { return format }
+
+func Println(a ...any) (int, error) { return 0, nil }

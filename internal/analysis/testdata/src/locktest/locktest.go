@@ -1,0 +1,97 @@
+// Package locktest is the lockdisc analyzer's golden fixture: each
+// forbidden call shape under a held mutex (callback field, function
+// value, logging, cross-instance method), the sanctioned patterns
+// (capture-then-call, own methods, local closures, calls after
+// unlock), TryLock regions, and a reasoned suppression.
+package locktest
+
+import (
+	"log"
+	"sync"
+)
+
+type shard struct {
+	mu      sync.Mutex
+	onEvict func(int)
+	n       int
+}
+
+func (s *shard) bump() { s.n++ }
+
+// lockedCallback invokes a callback field under the lock.
+func (s *shard) lockedCallback() {
+	s.mu.Lock()
+	s.onEvict(1) // want `call through callback field "s\.onEvict" while holding s\.mu`
+	s.mu.Unlock()
+}
+
+// capturedCallback is the sanctioned pattern: capture under the lock,
+// invoke after releasing it.
+func (s *shard) capturedCallback() {
+	s.mu.Lock()
+	cb := s.onEvict
+	s.mu.Unlock()
+	cb(1)
+}
+
+// lockedLog logs while the (deferred-unlock) lock is held.
+func (s *shard) lockedLog() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	log.Printf("n=%d", s.n) // want `log\.Printf while holding s\.mu`
+}
+
+// crossInstance reaches into another shard while holding its own
+// lock: the classic lock-ordering inversion.
+func (s *shard) crossInstance(other *shard) {
+	s.mu.Lock()
+	other.bump() // want `method call on other while holding s's lock`
+	s.mu.Unlock()
+}
+
+// ownMethod calls a method on the locked value itself: allowed.
+func (s *shard) ownMethod() {
+	s.mu.Lock()
+	s.bump()
+	s.mu.Unlock()
+}
+
+// funcValueParam calls through a function parameter under the lock.
+func (s *shard) funcValueParam(f func()) {
+	s.mu.Lock()
+	f() // want `call through function value "f" while holding s\.mu`
+	s.mu.Unlock()
+}
+
+// localClosure invokes this function's own code: allowed.
+func (s *shard) localClosure() {
+	work := func() { s.n++ }
+	s.mu.Lock()
+	work()
+	s.mu.Unlock()
+}
+
+// afterUnlock may call anything once the region ends.
+func (s *shard) afterUnlock() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.onEvict(1)
+	log.Println("done")
+}
+
+// tryLock holds the lock only in the then-branch.
+func (s *shard) tryLock() {
+	if s.mu.TryLock() {
+		log.Println("acquired") // want `log\.Println while holding s\.mu`
+		s.mu.Unlock()
+	}
+	log.Println("after")
+}
+
+// allowCallback documents a reviewed re-entrant callback.
+func (s *shard) allowCallback() {
+	s.mu.Lock()
+	//apcc:allow lockdisc fixture demonstrates a reviewed non-blocking callback
+	s.onEvict(2)
+	s.mu.Unlock()
+}

@@ -1,0 +1,10 @@
+// Package log is a minimal stub of the standard library package,
+// just enough surface for the fixtures to type-check hermetically.
+// The lockdisc analyzer matches logging calls by this package path.
+package log
+
+func Printf(format string, v ...any) {}
+
+func Println(v ...any) {}
+
+func Fatalf(format string, v ...any) {}

@@ -1,0 +1,10 @@
+// Package scopetest pins corrupterr's package scoping: decode-named
+// functions outside internal/pack and internal/compress may mint any
+// error they like.
+package scopetest
+
+import "errors"
+
+func DecodeThing() error { return errors.New("not a container decode path") }
+
+func ParseFlags() error { return errors.New("flag parsing is not hostile input") }

@@ -1,0 +1,64 @@
+// Package spantest is the spanpair analyzer's golden fixture: paired
+// spans, the hand-off-to-helper pattern, leaks, discarded handles,
+// goroutine crossings, and a reasoned suppression.
+package spantest
+
+import "apbcc/internal/obs"
+
+func cond() bool { return false }
+
+// paired Ends on every path.
+func paired(tr *obs.Trace) {
+	sp := tr.Begin(obs.StageRoute)
+	if cond() {
+		sp.End(obs.OutcomeError)
+		return
+	}
+	sp.End(obs.OutcomeOK)
+}
+
+// handoff passes the open handle to a helper, which takes over the
+// obligation to End it.
+func handoff(tr *obs.Trace) {
+	sp := tr.Begin(obs.StageRoute)
+	finish(sp)
+}
+
+func finish(sp obs.SpanHandle) { sp.End(obs.OutcomeOK) }
+
+// missingEnd leaks the span on the early return.
+func missingEnd(tr *obs.Trace) {
+	sp := tr.Begin(obs.StageRoute) // want `span opened by obs Begin is not released by End on every path`
+	if cond() {
+		return
+	}
+	sp.End(obs.OutcomeOK)
+}
+
+// discarded never binds the handle, so it can never End.
+func discarded(tr *obs.Trace) {
+	tr.Begin(obs.StageRebuild) // want `result of this call is discarded`
+}
+
+// crossGoroutine moves an open handle onto another goroutine: both
+// the pairing rule and the single-goroutine rule fire.
+func crossGoroutine(tr *obs.Trace) {
+	sp := tr.Begin(obs.StageWrite)
+	go func() { // want `open span captured by goroutine`
+		sp.End(obs.OutcomeOK) // want `sp crosses a go statement`
+	}()
+}
+
+// traceCrossing hands the trace itself to a goroutine.
+func traceCrossing(tr *obs.Trace) {
+	go func() {
+		sp := tr.Begin(obs.StageWrite) // want `tr crosses a go statement`
+		sp.End(obs.OutcomeOK)
+	}()
+}
+
+// allowDiscard shows a reasoned suppression.
+func allowDiscard(tr *obs.Trace) {
+	//apcc:allow spanpair fixture demonstrates a reviewed suppression
+	_ = tr.Begin(obs.StageWrite)
+}

@@ -1,0 +1,203 @@
+// unitchecker.go is the driver half of the suite: it speaks the JSON
+// "unit" protocol cmd/go uses for -vettool plugins, so cmd/apcc-lint
+// runs under `go vet -vettool=…` with cmd/go doing package loading,
+// dependency ordering, and export-data plumbing. The protocol per
+// package unit: cmd/go writes a *.cfg JSON file describing the
+// package (file list, import map, export-data paths for every
+// dependency) and invokes the tool with that path as its sole
+// positional argument; the tool type-checks the sources against the
+// provided export data, runs its analyzers, prints findings to
+// stderr, and exits 0 (clean) or 1 (findings). Units whose VetxOnly
+// flag is set exist only to produce cross-package facts — this suite
+// keeps no facts, so those exit immediately.
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"go/version"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+)
+
+// vetConfig mirrors the JSON cmd/go emits for each vet unit. Unknown
+// fields are ignored by encoding/json, which keeps this robust across
+// toolchain versions.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// A Finding is one diagnostic attributed to its analyzer, surviving
+// suppression filtering.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// RunVetUnit processes one vet unit config, printing findings to
+// stderr. It returns the process exit status under the repo's unified
+// convention: 0 clean, 1 findings, 2 usage/IO/internal error.
+func RunVetUnit(cfgPath string, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "apcc-lint:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "apcc-lint: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+
+	// The suite computes no cross-package facts, but cmd/go expects
+	// the fact ("vetx") output file to exist for caching.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(stderr, "apcc-lint:", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(stderr, "apcc-lint:", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+
+	pkg, info, err := typeCheck(fset, files, &cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(stderr, "apcc-lint: typechecking %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+
+	findings, err := RunAnalyzers(fset, files, pkg, info, All)
+	if err != nil {
+		fmt.Fprintln(stderr, "apcc-lint:", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintf(stderr, "%s: [%s] %s\n", f.Pos, f.Analyzer, f.Message)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// typeCheck type-checks the unit against the export data cmd/go
+// supplied for its dependencies.
+func typeCheck(fset *token.FileSet, files []*ast.File, cfg *vetConfig) (*types.Package, *types.Info, error) {
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	tc := types.Config{
+		Importer: importer.ForCompiler(fset, compiler, lookup),
+		Sizes:    types.SizesFor(compiler, runtime.GOARCH),
+	}
+	if version.IsValid(cfg.GoVersion) {
+		tc.GoVersion = cfg.GoVersion
+	}
+	info := newInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// newInfo allocates a fully-populated types.Info.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// RunAnalyzers runs the given analyzers over one type-checked package
+// and returns the findings that survive //apcc:allow suppression,
+// sorted by position.
+func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Finding, error) {
+	allows := CollectAllows(fset, files)
+	var out []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		pass.Report = func(d Diagnostic) {
+			if allows.Suppresses(fset, a.Name, d.Pos) {
+				return
+			}
+			out = append(out, Finding{Analyzer: a.Name, Pos: fset.Position(d.Pos), Message: d.Message})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := out[i].Pos, out[j].Pos
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	return out, nil
+}

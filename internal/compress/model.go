@@ -29,7 +29,9 @@ func RegisterModel(name string, f func(model []byte) (Codec, error)) {
 func FromModel(name string, model []byte) (Codec, error) {
 	f, ok := modelUnmarshalers[name]
 	if !ok {
-		return nil, fmt.Errorf("compress: codec %q has no model unmarshaler", name)
+		// The name typically comes from a container header, so an
+		// unregistered codec means a corrupt or foreign container.
+		return nil, fmt.Errorf("%w: codec %q has no model unmarshaler", ErrCorrupt, name)
 	}
 	return f(model)
 }

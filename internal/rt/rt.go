@@ -100,12 +100,17 @@ func (r *Runtime) decompressLoop() {
 		ch := r.ready[job.Unit]
 		r.mu.Unlock()
 
-		out, err := r.codec.DecompressAppend(compress.GetBuf(len(want)), comp)
+		buf := compress.GetBuf(len(want))
+		out, err := r.codec.DecompressAppend(buf, comp)
 		r.mu.Lock()
 		switch {
 		case err != nil:
+			// out may be nil on a decode error; recycle the buffer we
+			// acquired rather than leaking it into the failure path.
+			compress.PutBuf(buf)
 			r.fail(fmt.Errorf("rt: decompression thread: unit %d: %w", job.Unit, err))
 		case !bytes.Equal(out, want):
+			compress.PutBuf(out)
 			r.fail(fmt.Errorf("rt: decompression thread: unit %d content mismatch", job.Unit))
 		case r.copies[job.Unit] != nil:
 			// A demand decompression (or an overtaken prefetch) raced
@@ -116,6 +121,7 @@ func (r *Runtime) decompressLoop() {
 			r.m.FinishDecompress(job.Unit)
 			r.summary.BackgroundDecompressions++
 		default:
+			//apcc:owns the copies map owns published buffers; recycled on delete/replace
 			r.copies[job.Unit] = out
 			r.m.FinishDecompress(job.Unit)
 			r.summary.BackgroundDecompressions++
@@ -190,11 +196,16 @@ func (r *Runtime) Execute(tr *trace.Trace) (*Summary, error) {
 			comp := r.m.UnitCompressedView(unit)
 			want := r.m.UnitPlainView(unit)
 			r.mu.Unlock()
-			out, derr := r.codec.DecompressAppend(compress.GetBuf(len(want)), comp)
+			buf := compress.GetBuf(len(want))
+			out, derr := r.codec.DecompressAppend(buf, comp)
 			if derr != nil {
+				// out may be nil on a decode error; recycle our buffer
+				// instead of dropping it on the error return.
+				compress.PutBuf(buf)
 				return nil, fmt.Errorf("rt: demand decompression: %w", derr)
 			}
 			if !bytes.Equal(out, want) {
+				compress.PutBuf(out)
 				return nil, fmt.Errorf("rt: demand decompression: unit %d content mismatch", unit)
 			}
 			r.mu.Lock()
@@ -204,6 +215,7 @@ func (r *Runtime) Execute(tr *trace.Trace) (*Summary, error) {
 				// can be recycled safely before being replaced.
 				compress.PutBuf(old)
 			}
+			//apcc:owns the copies map owns published buffers; recycled on delete/replace
 			r.copies[unit] = out
 			r.m.FinishDecompress(unit)
 			r.summary.DemandDecompressions++
