@@ -30,11 +30,17 @@ import (
 	"time"
 
 	"apbcc/internal/compress"
+	"apbcc/internal/faults"
 	"apbcc/internal/obs"
 	"apbcc/internal/policy"
 	"apbcc/internal/report"
 	"apbcc/internal/service"
 )
+
+// chaosDefaultProfile is the fault profile -chaos runs when -faults is
+// not given: 10% store reads delayed, 1% failing transiently, 0.1%
+// flipping a bit.
+const chaosDefaultProfile = "store.read-at:p=0.1,lat=2ms;store.read-at:p=0.01,err;store.read-at:p=0.001,bitflip"
 
 func main() {
 	var (
@@ -47,6 +53,13 @@ func main() {
 		polName  = flag.String("policy", "klru", "block-cache replacement policy: "+strings.Join(policy.Names(), " | "))
 		storeDir = flag.String("store", "", "content-addressed disk store directory (L2 tier + warm restarts)")
 		rahead   = flag.Int("readahead", 0, "predicted successor blocks fetched per L2 read and admitted to L1\n(0 = default of 2, negative disables; needs -store)")
+
+		reqTimeout = flag.Duration("request-timeout", 0, "per-request deadline; expired requests get 504 (0 disables)")
+		faultSpec  = flag.String("faults", "", "fault-injection spec, e.g.\n'store.read-at:p=0.1,lat=2ms;store.read-at:p=0.01,err'\n(also settable at runtime via POST /debug/faults)")
+		faultSeed  = flag.Uint64("fault-seed", 1, "fault-injection PRNG seed (deterministic replay)")
+		chaos      = flag.Bool("chaos", false, "run the three-phase chaos scenario (requires -store):\nload under -faults (default "+
+			"10% lat / 1% err / 0.1% bitflip on store reads),\nforced breaker open, healed recovery; exits non-zero on wrong bytes")
+		retryBusy = flag.Bool("retry-busy", false, "loadgen: retry 429/503/504 responses with capped backoff")
 
 		traceRing = flag.Int("trace", 0, "request-trace ring capacity behind GET /debug/trace\n(0 = default of 256, negative disables tracing)")
 		debugAddr = flag.String("debug-addr", "", "separate listen address for net/http/pprof (empty disables)")
@@ -75,22 +88,40 @@ func main() {
 		fatal(err)
 	}
 	cfg := service.Config{
-		CacheShards: *shards,
-		CacheBytes:  *cacheMB << 20,
-		Workers:     *workers,
-		QueueDepth:  *queue,
-		MaxBatch:    *batch,
-		Policy:      *polName,
-		StoreDir:    *storeDir,
-		ReadaheadK:  *rahead,
-		TraceRing:   *traceRing,
-		Log:         logger,
+		CacheShards:    *shards,
+		CacheBytes:     *cacheMB << 20,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		MaxBatch:       *batch,
+		Policy:         *polName,
+		StoreDir:       *storeDir,
+		ReadaheadK:     *rahead,
+		TraceRing:      *traceRing,
+		RequestTimeout: *reqTimeout,
+		Log:            logger,
+	}
+
+	// Arm the fault layer before any server boots. The chaos scenario
+	// manages the fault lifecycle itself (seed, profile, reset), so it
+	// only takes the spec as its profile.
+	if *faultSpec != "" && !*chaos {
+		faults.SetSeed(*faultSeed)
+		if err := faults.Set(*faultSpec); err != nil {
+			fatal(err)
+		}
+		logger.Warn("fault injection armed", "spec", *faultSpec, "seed", *faultSeed)
 	}
 
 	if *debugAddr != "" {
 		go servePprof(*debugAddr, logger)
 	}
 
+	if *chaos {
+		if err := runChaos(cfg, *faultSpec, *faultSeed, *workload, *codec, *clients, *steps, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *coldwarm {
 		if err := runColdWarm(cfg, *workload, *codec, *clients, *steps, *seed); err != nil {
 			fatal(err)
@@ -104,7 +135,7 @@ func main() {
 		return
 	}
 	if *loadgen {
-		if err := runLoadgen(cfg, *target, *workload, *codec, *clients, *steps, *seed, *wordread, *traceOut); err != nil {
+		if err := runLoadgen(cfg, *target, *workload, *codec, *clients, *steps, *seed, *wordread, *traceOut, *retryBusy); err != nil {
 			fatal(err)
 		}
 		return
@@ -121,6 +152,8 @@ func main() {
 		// Bound slow clients so stalled connections cannot pin
 		// goroutines and descriptors indefinitely.
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -129,9 +162,14 @@ func main() {
 	go func() {
 		defer close(shutdownDone)
 		<-ctx.Done()
+		// Flip readiness first so load balancers stop routing here
+		// while in-flight requests drain.
+		srv.BeginDrain()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
-		httpSrv.Shutdown(shutdownCtx)
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			logger.Error("graceful shutdown incomplete; connections were dropped", "err", err)
+		}
 	}()
 	fmt.Printf("apcc-serve: listening on %s (%d shards, %d MiB cache, %s eviction, %d workers)\n",
 		*addr, *shards, *cacheMB, *polName, *workers)
@@ -147,7 +185,7 @@ func main() {
 // runLoadgen replays the workload against target, or against a
 // self-hosted in-process server on a loopback port when no target is
 // given — a single-binary demo of the whole serving path.
-func runLoadgen(cfg service.Config, target, workload, codec string, clients, steps int, seed int64, wordFrac float64, traceOut string) error {
+func runLoadgen(cfg service.Config, target, workload, codec string, clients, steps int, seed int64, wordFrac float64, traceOut string, retryBusy bool) error {
 	var traceW io.Writer
 	switch traceOut {
 	case "":
@@ -176,6 +214,8 @@ func runLoadgen(cfg service.Config, target, workload, codec string, clients, ste
 		httpSrv := &http.Server{
 			Handler:           inproc.Handler(),
 			ReadHeaderTimeout: 10 * time.Second,
+			ReadTimeout:       30 * time.Second,
+			WriteTimeout:      60 * time.Second,
 			IdleTimeout:       2 * time.Minute,
 		}
 		go httpSrv.Serve(ln)
@@ -185,14 +225,15 @@ func runLoadgen(cfg service.Config, target, workload, codec string, clients, ste
 	}
 
 	stats, err := service.RunLoad(context.Background(), service.LoadConfig{
-		BaseURL:  target,
-		Workload: workload,
-		Codec:    codec,
-		Clients:  clients,
-		Steps:    steps,
-		Seed:     seed,
-		WordFrac: wordFrac,
-		TraceOut: traceW,
+		BaseURL:   target,
+		Workload:  workload,
+		Codec:     codec,
+		Clients:   clients,
+		Steps:     steps,
+		Seed:      seed,
+		WordFrac:  wordFrac,
+		TraceOut:  traceW,
+		RetryBusy: retryBusy,
 	})
 	if err != nil {
 		return err
@@ -241,6 +282,8 @@ func runCodecMix(cfg service.Config, target, workload string, clients, steps int
 		httpSrv := &http.Server{
 			Handler:           inproc.Handler(),
 			ReadHeaderTimeout: 10 * time.Second,
+			ReadTimeout:       30 * time.Second,
+			WriteTimeout:      60 * time.Second,
 			IdleTimeout:       2 * time.Minute,
 		}
 		go httpSrv.Serve(ln)
@@ -282,6 +325,33 @@ func runCodecMix(cfg service.Config, target, workload string, clients, steps int
 		return fmt.Errorf("codec mix saw %d errors; first: %w", errs, firstErr)
 	}
 	return nil
+}
+
+// runChaos runs the fault-injection end-to-end scenario and renders
+// its verdict: load under the profile, a forced breaker-open episode,
+// and a healed recovery. Any wrong bytes (or a breaker that never
+// moved) exits non-zero.
+func runChaos(cfg service.Config, profile string, faultSeed uint64, workload, codec string, clients, steps int, seed int64) error {
+	if cfg.StoreDir == "" {
+		return fmt.Errorf("-chaos requires -store")
+	}
+	if profile == "" {
+		profile = chaosDefaultProfile
+	}
+	st, err := service.RunChaos(context.Background(), cfg, service.LoadConfig{
+		Workload: workload,
+		Codec:    codec,
+		Clients:  clients,
+		Steps:    steps,
+		Seed:     seed,
+	}, profile, faultSeed)
+	if err != nil {
+		return err
+	}
+	if err := st.WriteReport(os.Stdout); err != nil {
+		return err
+	}
+	return st.Err()
 }
 
 // runColdWarm runs the restart scenario: a cold server against the

@@ -16,6 +16,8 @@ func TestAppendAPIFixture(t *testing.T) { checkFixture(t, "appendtest", AppendAP
 
 func TestCorruptErrFixture(t *testing.T) { checkFixture(t, "fixmod/internal/pack", CorruptErr) }
 
+func TestCorruptErrStoreFixture(t *testing.T) { checkFixture(t, "fixmod/internal/store", CorruptErr) }
+
 func TestCorruptErrOutOfScope(t *testing.T) { checkFixture(t, "scopetest", CorruptErr) }
 
 func TestLockDiscFixture(t *testing.T) { checkFixture(t, "locktest", LockDisc) }

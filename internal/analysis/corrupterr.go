@@ -16,15 +16,18 @@ import (
 // produces an unchainable error that silently falls out of that
 // triage.
 //
-// Scope: functions in packages …/internal/pack and …/internal/compress
-// whose name starts with a decode-path stem (Decompress, Decode,
-// Parse, Unpack, Verify, Read, FromModel — any case). Errors built
-// with fmt.Errorf("%w: …", ErrCorrupt, …) or wrapping an upstream
-// error with %w pass; package-level sentinel declarations are outside
-// any function and are never flagged.
+// Scope: functions in packages …/internal/pack, …/internal/compress,
+// and …/internal/store whose name starts with a decode-path stem
+// (Decompress, Decode, Parse, Unpack, Verify, Read, FromModel — any
+// case). The store joined the scope when the serving path started
+// triaging its read/verify errors into retry (transient) vs quarantine
+// (corrupt): a naked error there would dodge both branches and be
+// treated as fatal. Errors built with fmt.Errorf("%w: …", ErrCorrupt, …)
+// or wrapping an upstream error with %w pass; package-level sentinel
+// declarations are outside any function and are never flagged.
 var CorruptErr = &Analyzer{
 	Name: "corrupterr",
-	Doc:  "check that decode paths in pack/compress wrap ErrCorrupt (or an upstream error) with %w instead of minting naked errors",
+	Doc:  "check that decode paths in pack/compress/store wrap ErrCorrupt (or an upstream error) with %w instead of minting naked errors",
 	Run:  runCorruptErr,
 }
 
@@ -34,7 +37,8 @@ var corruptStems = []string{"decompress", "decode", "parse", "unpack", "verify",
 
 func runCorruptErr(pass *Pass) error {
 	path := pass.Pkg.Path()
-	if !pkgPathMatches(path, "internal/pack") && !pkgPathMatches(path, "internal/compress") {
+	if !pkgPathMatches(path, "internal/pack") && !pkgPathMatches(path, "internal/compress") &&
+		!pkgPathMatches(path, "internal/store") {
 		return nil
 	}
 	for _, file := range pass.SourceFiles() {

@@ -1,6 +1,6 @@
 // Package scopetest pins corrupterr's package scoping: decode-named
-// functions outside internal/pack and internal/compress may mint any
-// error they like.
+// functions outside internal/pack, internal/compress, and
+// internal/store may mint any error they like.
 package scopetest
 
 import "errors"

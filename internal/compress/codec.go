@@ -53,6 +53,8 @@ import (
 	"fmt"
 	"sort"
 	"time"
+
+	"apbcc/internal/faults"
 )
 
 // CostModel describes the cycle cost of running a codec on one block, as
@@ -108,6 +110,12 @@ type Codec interface {
 
 // ErrCorrupt reports malformed compressed input.
 var ErrCorrupt = errors.New("compress: corrupt input")
+
+// FaultDecode is the failpoint consulted by the decode boundaries that
+// feed served bytes (pack.VerifyBlock, the group-decode word path).
+// It lives here rather than in pack so every decode entry point shares
+// one site regardless of which layer drives it.
+var FaultDecode = faults.Register("compress.decode")
 
 // ErrUnknownCodec reports a codec name missing from the registry;
 // callers branch on it with errors.Is.

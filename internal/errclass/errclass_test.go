@@ -1,0 +1,109 @@
+package errclass_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"syscall"
+	"testing"
+
+	"apbcc/internal/compress"
+	"apbcc/internal/errclass"
+	"apbcc/internal/faults"
+	"apbcc/internal/pack"
+	"apbcc/internal/service"
+	"apbcc/internal/store"
+	"apbcc/internal/workloads"
+)
+
+// TestClassifyTable pins the taxonomy: every error a store/pack/
+// compress constructor can produce lands in exactly one bucket, and
+// wrapping (the way the serving path actually sees these errors)
+// does not change the verdict.
+func TestClassifyTable(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want errclass.Class
+	}{
+		// Corrupt: bad bytes, quarantine, never retry.
+		{"pack.ErrCorrupt", pack.ErrCorrupt, errclass.Corrupt},
+		{"pack.ErrBadMagic", pack.ErrBadMagic, errclass.Corrupt},
+		{"pack.ErrBadVersion", pack.ErrBadVersion, errclass.Corrupt},
+		{"pack.ErrBadChecksum", pack.ErrBadChecksum, errclass.Corrupt},
+		{"compress.ErrCorrupt", compress.ErrCorrupt, errclass.Corrupt},
+		{"store.ErrCorrupt", store.ErrCorrupt, errclass.Corrupt},
+		{"wrapped pack checksum", fmt.Errorf("pack: block 3: %w", pack.ErrBadChecksum), errclass.Corrupt},
+		{"wrapped store corrupt", fmt.Errorf("store: get abc: %w", store.ErrCorrupt), errclass.Corrupt},
+		{"double-wrapped compress", fmt.Errorf("pack: %w", fmt.Errorf("decode: %w", compress.ErrCorrupt)), errclass.Corrupt},
+		{"truncated object read", fmt.Errorf("pack: payload read: %w", io.ErrUnexpectedEOF), errclass.Corrupt},
+
+		// Transient: worth retrying.
+		{"faults.ErrTransient", faults.ErrTransient, errclass.Transient},
+		{"wrapped injected fault", fmt.Errorf("faults: site store.read-at: %w", faults.ErrTransient), errclass.Transient},
+		{"EINTR", syscall.EINTR, errclass.Transient},
+		{"EAGAIN via PathError", &fs.PathError{Op: "read", Path: "x", Err: syscall.EAGAIN}, errclass.Transient},
+		{"ETIMEDOUT", fmt.Errorf("store: read: %w", syscall.ETIMEDOUT), errclass.Transient},
+		{"os deadline", os.ErrDeadlineExceeded, errclass.Transient},
+
+		// Fatal: no retry, no quarantine.
+		{"nil", nil, errclass.Fatal},
+		{"store.ErrNotFound", store.ErrNotFound, errclass.Fatal},
+		{"pack.ErrNoGroupIndex", pack.ErrNoGroupIndex, errclass.Fatal},
+		{"compress.ErrUnknownCodec", compress.ErrUnknownCodec, errclass.Fatal},
+		{"compress.ErrUngroupable", compress.ErrUngroupable, errclass.Fatal},
+		{"workloads.ErrUnknown", workloads.ErrUnknown, errclass.Fatal},
+		{"service.ErrPoolClosed", service.ErrPoolClosed, errclass.Fatal},
+		{"context.Canceled", context.Canceled, errclass.Fatal},
+		{"context.DeadlineExceeded", context.DeadlineExceeded, errclass.Fatal},
+		{"fs.ErrNotExist", fs.ErrNotExist, errclass.Fatal},
+		{"anonymous", errors.New("something else"), errclass.Fatal},
+
+		// Priority: corrupt wins over transient when both chains are
+		// present (a retry would refetch the same bad bytes).
+		{"corrupt wrapped in transient", fmt.Errorf("%w: %w", faults.ErrTransient, pack.ErrCorrupt), errclass.Corrupt},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := errclass.Classify(tc.err)
+			if got != tc.want {
+				t.Fatalf("Classify(%v) = %v, want %v", tc.err, got, tc.want)
+			}
+			// Exactly one class: the predicates must agree with
+			// Classify and with each other.
+			if errclass.IsCorrupt(tc.err) != (tc.want == errclass.Corrupt) {
+				t.Fatalf("IsCorrupt(%v) inconsistent with class %v", tc.err, tc.want)
+			}
+			if errclass.IsTransient(tc.err) != (tc.want == errclass.Transient) {
+				t.Fatalf("IsTransient(%v) inconsistent with class %v", tc.err, tc.want)
+			}
+		})
+	}
+}
+
+// TestCorruptTriageHolds pins the errors.Is contract the quarantine
+// path depends on: every corrupt-class sentinel still chains from
+// the errors real decode paths mint.
+func TestCorruptTriageHolds(t *testing.T) {
+	wrapped := fmt.Errorf("pack: block 7 crc mismatch: %w", pack.ErrBadChecksum)
+	if !errors.Is(wrapped, pack.ErrBadChecksum) {
+		t.Fatal("errors.Is triage broken for wrapped ErrBadChecksum")
+	}
+	if errclass.Classify(wrapped) != errclass.Corrupt {
+		t.Fatal("wrapped ErrBadChecksum must classify corrupt")
+	}
+	// A genuinely corrupt container must classify corrupt end to end:
+	// run a real decode over garbage.
+	if _, _, _, err := pack.Unpack("garbage", []byte("not a container at all")); err == nil {
+		t.Fatal("Unpack accepted garbage")
+	} else if errclass.Classify(err) != errclass.Corrupt {
+		t.Fatalf("Unpack(garbage) error %v classifies %v, want corrupt", err, errclass.Classify(err))
+	}
+	// String names stay stable: they are metrics labels.
+	if errclass.Corrupt.String() != "corrupt" || errclass.Transient.String() != "transient" || errclass.Fatal.String() != "fatal" {
+		t.Fatal("class names changed; metrics labels depend on them")
+	}
+}

@@ -1,0 +1,84 @@
+package faults
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Handler returns the /debug/faults endpoint:
+//
+//	GET    — current state: enabled flag, seed, per-site actions and
+//	         injection counts (JSON)
+//	POST   — apply controls: spec=<spec string> as a query parameter
+//	         or, when the parameter is absent, as the raw request body
+//	         (replaces all actions and enables the layer; empty spec
+//	         via ?spec= disables), seed=<uint64> (reseeds the streams
+//	         first), enable=<bool> (toggle without touching actions)
+//	DELETE — Reset(): clear actions and counters, disable
+//
+// The endpoint is a debug surface like /debug/trace: it is mounted
+// by the service mux and carries no auth of its own.
+func Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+			writeState(w)
+		case http.MethodPost:
+			q := r.URL.Query()
+			if v := q.Get("seed"); v != "" {
+				n, err := strconv.ParseUint(v, 10, 64)
+				if err != nil {
+					http.Error(w, "faults: bad seed: "+err.Error(), http.StatusBadRequest)
+					return
+				}
+				SetSeed(n)
+			}
+			if q.Has("spec") {
+				if err := Set(q.Get("spec")); err != nil {
+					http.Error(w, err.Error(), http.StatusBadRequest)
+					return
+				}
+			} else if body, err := io.ReadAll(io.LimitReader(r.Body, 64<<10)); err == nil {
+				// `curl --data '<spec>'` territory: a non-empty body is
+				// the spec. Clearing goes through ?spec= or DELETE so an
+				// empty body can't disarm by accident.
+				if spec := strings.TrimSpace(string(body)); spec != "" {
+					if err := Set(spec); err != nil {
+						http.Error(w, err.Error(), http.StatusBadRequest)
+						return
+					}
+				}
+			}
+			if v := q.Get("enable"); v != "" {
+				on, err := strconv.ParseBool(v)
+				if err != nil {
+					http.Error(w, "faults: bad enable: "+err.Error(), http.StatusBadRequest)
+					return
+				}
+				Enable(on)
+			}
+			writeState(w)
+		case http.MethodDelete:
+			Reset()
+			writeState(w)
+		default:
+			w.Header().Set("Allow", "GET, POST, DELETE")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+}
+
+func writeState(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json")
+	state := struct {
+		Enabled bool        `json:"enabled"`
+		Seed    uint64      `json:"seed"`
+		Sites   []SiteState `json:"sites"`
+	}{Enabled: Enabled(), Seed: seed.Load(), Sites: Snapshot()}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(state)
+}

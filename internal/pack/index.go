@@ -21,8 +21,17 @@ import (
 
 	"apbcc/internal/cfg"
 	"apbcc/internal/compress"
+	"apbcc/internal/faults"
 	"apbcc/internal/isa"
 	"apbcc/internal/obs"
+)
+
+// Failpoints on the container's random-access disk boundaries. Bit
+// flips are injected one layer up (store.read-at), so these sites
+// carry latency and transient-error actions only.
+var (
+	faultIndexRead   = faults.Register("pack.index-read")
+	faultPayloadRead = faults.Register("pack.payload-read")
 )
 
 // IndexEntry locates one block's compressed payload inside an indexed
@@ -259,6 +268,9 @@ func ReadIndexAt(r io.ReaderAt, size int64) (*Index, error) {
 		if n > size {
 			n = size
 		}
+		if err := faultIndexRead.Err(); err != nil {
+			return nil, fmt.Errorf("pack: index read: %w", err)
+		}
 		buf := make([]byte, n)
 		if _, err := io.ReadFull(io.NewSectionReader(r, 0, n), buf); err != nil {
 			return nil, fmt.Errorf("pack: index read: %w", err)
@@ -323,6 +335,9 @@ func (x *Index) ReadPayloadRangeAt(r io.ReaderAt, lo, hi int, dst []byte) ([]byt
 		dst = grown
 	}
 	dst = dst[:base+n]
+	if err := faultPayloadRead.Err(); err != nil {
+		return nil, fmt.Errorf("pack: block %d..%d payload read: %w", lo, hi, err)
+	}
 	if _, err := r.ReadAt(dst[base:base+n], x.PayloadBase+start); err != nil {
 		return nil, fmt.Errorf("pack: block %d..%d payload read: %w", lo, hi, err)
 	}
@@ -403,12 +418,18 @@ func (x *Index) ReadWordRangeAt(r io.ReaderAt, codec compress.Codec, block, word
 		compDst = grown
 	}
 	compDst = compDst[:cbase+n]
+	if err := faultPayloadRead.Err(); err != nil {
+		return compDst[:cbase], dst, fmt.Errorf("pack: block %d group read: %w", block, err)
+	}
 	if _, err := r.ReadAt(compDst[cbase:], x.PayloadBase+e.Off+start); err != nil {
 		return compDst[:cbase], dst, fmt.Errorf("pack: block %d group read: %w", block, err)
 	}
 	span := compDst[cbase:]
 	base := len(dst)
 	out := dst
+	if err := compress.FaultDecode.Err(); err != nil {
+		return compDst, dst, fmt.Errorf("pack: block %d group decode: %w", block, err)
+	}
 	for g := g0; g <= g1; g++ {
 		gEnd := len(span)
 		if g+1 < len(offs) {
@@ -440,6 +461,9 @@ func (x *Index) VerifyBlock(codec compress.Codec, i int, comp, dst []byte) ([]by
 	}
 	e := x.Blocks[i]
 	start := len(dst)
+	if err := compress.FaultDecode.Err(); err != nil {
+		return dst, fmt.Errorf("pack: block %d: %w", i, err)
+	}
 	out, err := codec.DecompressAppend(dst, comp)
 	if err != nil {
 		return dst, fmt.Errorf("pack: block %d: %w", i, err)

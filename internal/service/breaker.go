@@ -1,0 +1,197 @@
+package service
+
+import (
+	"context"
+	"math/rand/v2"
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit breaker state.
+type breakerState int32
+
+const (
+	brkClosed breakerState = iota
+	brkOpen
+	brkHalfOpen
+)
+
+func (st breakerState) String() string {
+	switch st {
+	case brkOpen:
+		return "open"
+	case brkHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breakerConfig sizes one entry's circuit breaker.
+type breakerConfig struct {
+	threshold int           // consecutive failures that open the breaker
+	cooldown  time.Duration // open -> half-open delay
+	// onTransition observes state changes for metrics. It is always
+	// invoked outside the breaker lock.
+	onTransition func(from, to breakerState)
+}
+
+// breaker guards one entry's L2 object against flapping: enough
+// consecutive read failures open it, detaching the serving path from
+// the object (requests degrade to the rebuild path) without paying a
+// failed disk read per request. After the cooldown one probe request
+// is let through half-open; success re-attaches (closes), failure
+// re-opens. A nil *breaker is a disabled breaker: Allow always
+// permits and results are discarded.
+type breaker struct {
+	cfg breakerConfig
+
+	mu       sync.Mutex
+	state    breakerState
+	failures int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last opened
+	probing  bool      // a half-open probe is in flight
+}
+
+func newBreaker(cfg breakerConfig) *breaker {
+	if cfg.threshold <= 0 {
+		return nil
+	}
+	return &breaker{cfg: cfg}
+}
+
+// Allow reports whether a request may try the guarded resource now.
+// The open state converts to half-open once the cooldown elapses,
+// admitting exactly one probe; every caller admitted while half-open
+// owns the probe and must settle it with Result or Abort.
+func (b *breaker) Allow(now time.Time) bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	var trans func(from, to breakerState)
+	var from, to breakerState
+	allowed := false
+	switch b.state {
+	case brkClosed:
+		allowed = true
+	case brkOpen:
+		if now.Sub(b.openedAt) >= b.cfg.cooldown {
+			from, to = b.state, brkHalfOpen
+			trans = b.cfg.onTransition
+			b.state = brkHalfOpen
+			b.probing = true
+			allowed = true
+		}
+	case brkHalfOpen:
+		if !b.probing {
+			b.probing = true
+			allowed = true
+		}
+	}
+	b.mu.Unlock()
+	if trans != nil {
+		trans(from, to)
+	}
+	return allowed
+}
+
+// Result settles the outcome of an allowed request. While closed,
+// failures accumulate until the threshold opens the breaker; a
+// half-open probe's success closes it, its failure re-opens it.
+func (b *breaker) Result(ok bool) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	var trans func(from, to breakerState)
+	var from, to breakerState
+	switch b.state {
+	case brkClosed:
+		if ok {
+			b.failures = 0
+		} else {
+			b.failures++
+			if b.failures >= b.cfg.threshold {
+				from, to = b.state, brkOpen
+				trans = b.cfg.onTransition
+				b.state = brkOpen
+				b.openedAt = time.Now()
+			}
+		}
+	case brkHalfOpen:
+		b.probing = false
+		from = b.state
+		if ok {
+			to = brkClosed
+			b.state = brkClosed
+			b.failures = 0
+		} else {
+			to = brkOpen
+			b.state = brkOpen
+			b.openedAt = time.Now()
+		}
+		trans = b.cfg.onTransition
+	case brkOpen:
+		// A late result from before the breaker opened; nothing to do.
+	}
+	b.mu.Unlock()
+	if trans != nil {
+		trans(from, to)
+	}
+}
+
+// Abort settles an allowed request without judging the resource — the
+// caller gave up (context cancelled) before the outcome was known. A
+// half-open probe slot is released so the next request can probe.
+func (b *breaker) Abort() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// State returns the current breaker state (for tests and metrics).
+func (b *breaker) State() breakerState {
+	if b == nil {
+		return brkClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// retryPolicy bounds the transient-error retry loop on the L2 read
+// path: up to max retries after the first attempt, sleeping a
+// full-jitter exponential backoff between attempts.
+type retryPolicy struct {
+	max  int           // retries after the first attempt; 0 disables
+	base time.Duration // backoff scale for the first retry
+	cap  time.Duration // per-sleep upper bound
+}
+
+// backoff returns the sleep before retry number attempt (0-based):
+// uniform in (0, min(cap, base<<attempt)]. Full jitter keeps
+// coordinated retry spikes from re-saturating a recovering disk.
+func (p retryPolicy) backoff(attempt int) time.Duration {
+	d := p.base << attempt
+	if d <= 0 || d > p.cap {
+		d = p.cap
+	}
+	return time.Duration(rand.Int64N(int64(d))) + 1
+}
+
+// sleepCtx sleeps for d unless ctx ends first, reporting whether the
+// full sleep completed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

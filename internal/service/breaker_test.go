@@ -1,0 +1,141 @@
+package service
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestNilBreakerIsDisabled(t *testing.T) {
+	var b *breaker
+	if b != newBreaker(breakerConfig{threshold: 0}) {
+		t.Fatal("threshold 0 should build a nil (disabled) breaker")
+	}
+	for i := 0; i < 10; i++ {
+		if !b.Allow(time.Now()) {
+			t.Fatal("nil breaker must always allow")
+		}
+		b.Result(false)
+		b.Abort()
+	}
+	if b.State() != brkClosed {
+		t.Fatalf("nil breaker state = %v, want closed", b.State())
+	}
+}
+
+func TestBreakerStateMachine(t *testing.T) {
+	var trans []string
+	b := newBreaker(breakerConfig{
+		threshold: 3,
+		cooldown:  50 * time.Millisecond,
+		onTransition: func(from, to breakerState) {
+			trans = append(trans, from.String()+">"+to.String())
+		},
+	})
+	now := time.Now()
+
+	// Failures below the threshold keep it closed; a success resets
+	// the streak.
+	for i := 0; i < 2; i++ {
+		if !b.Allow(now) {
+			t.Fatal("closed breaker must allow")
+		}
+		b.Result(false)
+	}
+	b.Result(true)
+	for i := 0; i < 2; i++ {
+		b.Result(false)
+	}
+	if b.State() != brkClosed {
+		t.Fatalf("state after 2 failures post-reset = %v, want closed", b.State())
+	}
+
+	// The third consecutive failure opens it.
+	b.Result(false)
+	if b.State() != brkOpen {
+		t.Fatalf("state after threshold failures = %v, want open", b.State())
+	}
+	if b.Allow(now) {
+		t.Fatal("open breaker must reject before the cooldown")
+	}
+
+	// Cooldown elapses: exactly one probe is admitted.
+	later := now.Add(60 * time.Millisecond)
+	if !b.Allow(later) {
+		t.Fatal("cooldown elapsed: probe must be admitted")
+	}
+	if b.State() != brkHalfOpen {
+		t.Fatalf("state during probe = %v, want half-open", b.State())
+	}
+	if b.Allow(later) {
+		t.Fatal("second caller must not get a probe slot while one is in flight")
+	}
+
+	// Probe failure re-opens.
+	b.Result(false)
+	if b.State() != brkOpen {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+
+	// Next probe: Abort releases the slot without judging.
+	later = later.Add(60 * time.Millisecond)
+	if !b.Allow(later) {
+		t.Fatal("second cooldown elapsed: probe must be admitted")
+	}
+	b.Abort()
+	if b.State() != brkHalfOpen {
+		t.Fatalf("state after aborted probe = %v, want half-open", b.State())
+	}
+	if !b.Allow(later) {
+		t.Fatal("aborted probe must free the slot for the next caller")
+	}
+
+	// Probe success closes.
+	b.Result(true)
+	if b.State() != brkClosed {
+		t.Fatalf("state after successful probe = %v, want closed", b.State())
+	}
+
+	want := []string{
+		"closed>open", "open>half-open", "half-open>open",
+		"open>half-open", "half-open>closed",
+	}
+	if len(trans) != len(want) {
+		t.Fatalf("transitions = %v, want %v", trans, want)
+	}
+	for i := range want {
+		if trans[i] != want[i] {
+			t.Fatalf("transition %d = %q, want %q (all: %v)", i, trans[i], want[i], trans)
+		}
+	}
+}
+
+func TestBackoffBoundedAndPositive(t *testing.T) {
+	p := retryPolicy{max: 3, base: 2 * time.Millisecond, cap: 50 * time.Millisecond}
+	for attempt := 0; attempt < 10; attempt++ {
+		for i := 0; i < 100; i++ {
+			d := p.backoff(attempt)
+			if d <= 0 {
+				t.Fatalf("attempt %d: backoff %v not positive", attempt, d)
+			}
+			if d > p.cap+1 {
+				t.Fatalf("attempt %d: backoff %v exceeds cap %v", attempt, d, p.cap)
+			}
+		}
+	}
+	// Overflow of base<<attempt must clamp to cap, not go negative.
+	if d := p.backoff(62); d <= 0 || d > p.cap+1 {
+		t.Fatalf("overflowing attempt: backoff %v, want in (0, %v]", d, p.cap)
+	}
+}
+
+func TestSleepCtx(t *testing.T) {
+	if !sleepCtx(context.Background(), time.Millisecond) {
+		t.Fatal("uninterrupted sleep must report completion")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if sleepCtx(ctx, time.Hour) {
+		t.Fatal("cancelled context must interrupt the sleep")
+	}
+}

@@ -153,7 +153,7 @@ func (c *BlockCache) Policy() string { return c.polName }
 // in as its re-production cost; cost-sensitive callers use
 // GetOrComputeCost.
 func (c *BlockCache) GetOrCompute(key string, compute func() ([]byte, error)) (val []byte, hit bool, err error) {
-	return c.shard(key).getOrCompute(nil, key, func() ([]byte, int64, error) {
+	return c.shard(key).getOrCompute(context.Background(), key, func() ([]byte, int64, error) {
 		v, err := compute()
 		return v, int64(len(v)), err
 	})
@@ -166,7 +166,10 @@ func (c *BlockCache) GetOrCompute(key string, compute func() ([]byte, error)) (v
 // StageL1 span on ctx's trace (outcome hit/miss/coalesced); with no
 // trace attached the call costs exactly what it did untraced.
 func (c *BlockCache) GetOrComputeCost(ctx context.Context, key string, compute func() ([]byte, int64, error)) (val []byte, hit bool, err error) {
-	return c.shard(key).getOrCompute(obs.FromContext(ctx), key, compute)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return c.shard(key).getOrCompute(ctx, key, compute)
 }
 
 // Get returns the cached value for key, if resident. It does not count
@@ -278,10 +281,11 @@ func (s *cacheShard) get(key string) ([]byte, bool) {
 	return nil, false
 }
 
-func (s *cacheShard) getOrCompute(tr *obs.Trace, key string, compute func() ([]byte, int64, error)) ([]byte, bool, error) {
+func (s *cacheShard) getOrCompute(ctx context.Context, key string, compute func() ([]byte, int64, error)) ([]byte, bool, error) {
 	// One StageL1 span covers the whole call: lookup on a hit, lookup +
 	// compute on a miss (the compute's own spans nest under it). tr is
 	// nil when tracing is off — Begin/End are then free no-ops.
+	tr := obs.FromContext(ctx)
 	sp := tr.Begin(obs.StageL1)
 	s.mu.Lock()
 	if val, ok := s.items[key]; ok {
@@ -293,7 +297,20 @@ func (s *cacheShard) getOrCompute(tr *obs.Trace, key string, compute func() ([]b
 	}
 	if fl, ok := s.inflight[key]; ok {
 		s.mu.Unlock()
-		<-fl.done
+		// A coalesced waiter must stay cancellable: the leader may be in
+		// an L2 retry loop or queued pool work, and a waiter whose client
+		// disconnected (or whose deadline fired) has to unblock now. The
+		// flight itself is untouched — the leader still completes and
+		// caches the value for everyone else.
+		select {
+		case <-fl.done:
+		case <-ctx.Done():
+			s.mu.Lock()
+			s.misses++
+			s.mu.Unlock()
+			sp.End(obs.OutcomeError)
+			return nil, false, ctx.Err()
+		}
 		if fl.err != nil {
 			// The shared compute failed: this request got an error, not a
 			// value, so it is neither a hit nor coalesced-as-hit. Count it

@@ -1,0 +1,246 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"apbcc/internal/faults"
+	"apbcc/internal/report"
+	"apbcc/internal/workloads"
+)
+
+// ChaosStats summarizes a RunChaos run: what the fault layer injected,
+// how the resilience machinery reacted, and — the point of the whole
+// exercise — whether any client ever saw wrong bytes.
+type ChaosStats struct {
+	Load *LoadStats // phase-1 load under the injected fault profile
+
+	// WrongBytes is the number of 200 responses whose payload failed
+	// client-side verification. Any value but zero is a correctness
+	// bug: faults may cost latency and availability, never integrity.
+	WrongBytes int64
+
+	RetriesSucceeded int64            // transient L2 errors a retry recovered
+	RetriesExhausted int64            // transient L2 errors that out-failed the budget
+	BreakerOpens     int64            // breaker open transitions across the run
+	BreakerCloses    int64            // breaker close transitions (half-open probe recovered)
+	BreakerRejects   int64            // L2 reads skipped while a breaker was open
+	Shed             int64            // requests rejected 429 by admission control
+	Quarantined      int64            // store objects quarantined as corrupt
+	DegradedFetches  int64            // phase-2/3 fetches served while the object was failing
+	Injected         map[string]int64 // faults injected, by action kind
+
+	P99 time.Duration // phase-1 client-observed fetch latency p99
+}
+
+// WriteReport renders the chaos run as a table.
+func (c *ChaosStats) WriteReport(w io.Writer) error {
+	t := report.NewTable("chaos", "metric", "value")
+	t.AddRow("requests", c.Load.Requests)
+	t.AddRow("http_errors", c.Load.Errors)
+	t.AddRow("wrong_bytes", c.WrongBytes)
+	t.AddRow("busy_retries", c.Load.BusyRetries)
+	t.AddRow("p99", c.P99.String())
+	t.AddRow("retries_succeeded", c.RetriesSucceeded)
+	t.AddRow("retries_exhausted", c.RetriesExhausted)
+	t.AddRow("breaker_opens", c.BreakerOpens)
+	t.AddRow("breaker_closes", c.BreakerCloses)
+	t.AddRow("breaker_rejects", c.BreakerRejects)
+	t.AddRow("shed", c.Shed)
+	t.AddRow("quarantined", c.Quarantined)
+	t.AddRow("degraded_fetches", c.DegradedFetches)
+	for _, kind := range []string{faults.KindLatency, faults.KindTransient, faults.KindBitFlip} {
+		t.AddRow("injected_"+kind, c.Injected[kind])
+	}
+	_, err := t.WriteTo(w)
+	return err
+}
+
+// Err reports whether the run violated the chaos contract: zero wrong
+// bytes, and — when the profile injected anything at all — evidence
+// that the resilience machinery actually moved (the run is worthless
+// as a test if the faults never fired).
+func (c *ChaosStats) Err() error {
+	if c.WrongBytes != 0 {
+		return fmt.Errorf("chaos: %d responses carried wrong bytes", c.WrongBytes)
+	}
+	if c.BreakerOpens == 0 {
+		return fmt.Errorf("chaos: breaker never opened")
+	}
+	if c.BreakerCloses == 0 {
+		return fmt.Errorf("chaos: breaker never recovered (no close)")
+	}
+	return nil
+}
+
+// chaosPhaseTimeout bounds each deterministic phase of a chaos run so
+// a wedged server fails the run instead of hanging it.
+const chaosPhaseTimeout = 30 * time.Second
+
+// RunChaos is the fault-injection end-to-end scenario. It boots an
+// in-process server on cfg (which must have a StoreDir — the faults
+// under test live on the L2 path), seeds the fault layer, then runs
+// three phases:
+//
+//  1. Load under the caller's fault profile (latency, transient errors,
+//     bit flips on store reads): clients must see zero wrong bytes no
+//     matter what the disk does, because every L2 read is verified
+//     server-side and corrupt objects are quarantined, not retried.
+//  2. Hard failure: store reads fail with p=1 against a fresh entry
+//     until its circuit breaker opens. Every fetch must still succeed
+//     via the rebuild path — degraded, not down.
+//  3. Heal: faults clear, the breaker cooldown elapses, and the next
+//     fetch's half-open probe must re-attach the object (breaker
+//     closes).
+//
+// The fault layer is reset on the way out. Faults injected by the
+// profile are process-global while the run lasts, so don't run chaos
+// concurrently with anything that must not see them.
+func RunChaos(ctx context.Context, cfg Config, lcfg LoadConfig, profile string, seed uint64) (*ChaosStats, error) {
+	if cfg.StoreDir == "" {
+		return nil, fmt.Errorf("service: chaos scenario requires Config.StoreDir")
+	}
+	faults.Reset()
+	defer faults.Reset()
+	faults.SetSeed(seed)
+
+	srv, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	httpSrv := &http.Server{
+		Handler:      srv.Handler(),
+		ReadTimeout:  30 * time.Second,
+		WriteTimeout: 30 * time.Second,
+	}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+
+	// Phase 1: load under the caller's profile. Clients retry the
+	// busy/transient statuses like a real device would.
+	if profile != "" {
+		if err := faults.Set(profile); err != nil {
+			return nil, err
+		}
+	}
+	phase := lcfg
+	phase.BaseURL = base
+	phase.Client = nil
+	phase.RetryBusy = true
+	load, err := RunLoad(ctx, phase)
+	if err != nil {
+		return nil, fmt.Errorf("chaos load phase: %w", err)
+	}
+	if err := faults.Set(""); err != nil {
+		return nil, err
+	}
+
+	st := &ChaosStats{
+		Load:       load,
+		WrongBytes: load.VerifyErrors,
+		P99:        load.Latency.Quantile(0.99),
+	}
+
+	// Phases 2 and 3 drive one fresh entry deterministically: a codec
+	// phase 1 did not use, so every block fetch below is L1-cold and
+	// must attempt the L2 read that the injected faults then fail.
+	wl := strings.TrimSpace(strings.Split(lcfg.Workload, ",")[0])
+	w, err := workloads.ByName(wl)
+	if err != nil {
+		return nil, err
+	}
+	nblocks := w.Program.Graph.NumBlocks()
+	m := srv.Metrics()
+	client := &http.Client{}
+	fetchBlock := func(id int) error {
+		_, _, err := fetch(ctx, client, fmt.Sprintf("%s/v1/block/%s/%d?codec=rle", base, wl, id))
+		return err
+	}
+
+	// Build the rle entry and wait for its container to persist and
+	// attach — the L2 object phases 2/3 exercise. persistAsync bumps
+	// StorePersists only after the attach, so polling it is enough.
+	persists0 := m.StorePersists.Load()
+	if _, _, err := fetch(ctx, client, base+"/v1/pack/"+wl+"?codec=rle"); err != nil {
+		return nil, fmt.Errorf("chaos phase 2 container build: %w", err)
+	}
+	deadline := time.Now().Add(chaosPhaseTimeout)
+	for m.StorePersists.Load() <= persists0 {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("chaos phase 2: container never persisted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Phase 2: every store read fails. Distinct L1-cold blocks each
+	// exhaust the retry budget and strike the breaker; the fetches
+	// themselves must still succeed through the rebuild path.
+	if err := faults.Set("store.read-at:p=1,err"); err != nil {
+		return nil, err
+	}
+	opens0 := m.BreakerOpens.Load()
+	id := 0
+	for ; id < nblocks && m.BreakerOpens.Load() == opens0; id++ {
+		if err := fetchBlock(id); err != nil {
+			return nil, fmt.Errorf("chaos phase 2: degraded fetch failed: %w", err)
+		}
+		st.DegradedFetches++
+	}
+	if m.BreakerOpens.Load() == opens0 {
+		return nil, fmt.Errorf("chaos phase 2: breaker did not open after %d failing blocks", id)
+	}
+
+	// Phase 3: clear the faults, let the cooldown elapse, and fetch
+	// further cold blocks until a half-open probe closes the breaker.
+	if err := faults.Set(""); err != nil {
+		return nil, err
+	}
+	cooldown := cfg.withDefaults().BreakerCooldown
+	closes0 := m.BreakerCloses.Load()
+	deadline = time.Now().Add(chaosPhaseTimeout)
+	for m.BreakerCloses.Load() == closes0 {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("chaos phase 3: breaker never closed")
+		}
+		if id >= nblocks {
+			return nil, fmt.Errorf("chaos phase 3: ran out of cold blocks (%d) before the breaker closed", nblocks)
+		}
+		time.Sleep(cooldown + cooldown/4)
+		if err := fetchBlock(id); err != nil {
+			return nil, fmt.Errorf("chaos phase 3: probe fetch failed: %w", err)
+		}
+		st.DegradedFetches++
+		id++
+	}
+
+	st.RetriesSucceeded = m.RetrySuccess.Load()
+	st.RetriesExhausted = m.RetryExhausted.Load()
+	st.BreakerOpens = m.BreakerOpens.Load()
+	st.BreakerCloses = m.BreakerCloses.Load()
+	st.BreakerRejects = m.BreakerRejects.Load()
+	st.Shed = m.Shed.Load()
+	st.Quarantined = srv.Store().Stats().Quarantined
+	st.Injected = map[string]int64{
+		faults.KindLatency:   faults.InjectedTotal(faults.KindLatency),
+		faults.KindTransient: faults.InjectedTotal(faults.KindTransient),
+		faults.KindBitFlip:   faults.InjectedTotal(faults.KindBitFlip),
+	}
+	return st, nil
+}

@@ -53,6 +53,26 @@ type LoadConfig struct {
 	// material for offline latency analysis. Writes are serialized
 	// internally; any io.Writer works.
 	TraceOut io.Writer
+	// RetryBusy makes clients honor the server's overload/transient
+	// contract: 429 (shed), 503 and 504 responses are retried a few
+	// times with capped backoff instead of counting as errors — what a
+	// well-behaved embedded device does when the server says "later".
+	RetryBusy bool
+}
+
+// busyRetryMax bounds RetryBusy re-attempts per fetch; busyRetryBase
+// scales the capped backoff between them.
+const (
+	busyRetryMax  = 5
+	busyRetryBase = 10 * time.Millisecond
+)
+
+// retryableStatus reports whether a response status is part of the
+// server's "try again later" contract.
+func retryableStatus(code int) bool {
+	return code == http.StatusTooManyRequests ||
+		code == http.StatusServiceUnavailable ||
+		code == http.StatusGatewayTimeout
 }
 
 // FetchRecord is one -trace-out JSONL line: a single block fetch as
@@ -119,15 +139,22 @@ func parseStagesHeader(h string) map[string]int64 {
 
 // LoadStats aggregates a load run.
 type LoadStats struct {
-	Clients    int
-	Requests   int64 // fetches issued (block + word reads)
-	WordReads  int64 // sub-block word reads among Requests
-	Errors     int64 // transport errors, bad statuses, verify failures
-	Bytes      int64 // compressed payload bytes received
-	CacheHits  int64 // responses marked X-Apcc-Cache: hit
-	Duration   time.Duration
-	Latency    *Histogram // per-fetch latency across all clients
-	FirstError error      // sample for diagnostics
+	Clients   int
+	Requests  int64 // fetches issued (block + word reads)
+	WordReads int64 // sub-block word reads among Requests
+	Errors    int64 // transport errors, bad statuses, verify failures
+	// VerifyErrors is the subset of Errors where a 200 response carried
+	// bytes that failed client-side verification — the wrong-bytes
+	// signal chaos runs must see stay at zero, separate from the HTTP
+	// failures fault injection is expected to produce.
+	VerifyErrors int64
+	// BusyRetries counts RetryBusy re-attempts after 429/503/504.
+	BusyRetries int64
+	Bytes       int64 // compressed payload bytes received
+	CacheHits   int64 // responses marked X-Apcc-Cache: hit
+	Duration    time.Duration
+	Latency     *Histogram // per-fetch latency across all clients
+	FirstError  error      // sample for diagnostics
 }
 
 // Throughput returns fetches per second over the run.
@@ -189,6 +216,8 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadStats, error) {
 			stats.Requests += cs.requests
 			stats.WordReads += cs.wordReads
 			stats.Errors += cs.errors
+			stats.VerifyErrors += cs.verifyErrors
+			stats.BusyRetries += cs.busyRetries
 			stats.Bytes += cs.bytes
 			stats.CacheHits += cs.hits
 			if err != nil {
@@ -208,6 +237,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadStats, error) {
 
 type clientStats struct {
 	requests, wordReads, errors, bytes, hits int64
+	verifyErrors, busyRetries                int64
 	firstError                               error
 }
 
@@ -217,7 +247,7 @@ func runClient(ctx context.Context, client *http.Client, cfg LoadConfig, workloa
 	var cs clientStats
 	seed := cfg.Seed + int64(id)
 	url := fmt.Sprintf("%s/v1/pack/%s?codec=%s", cfg.BaseURL, workload, cfg.Codec)
-	body, _, err := fetch(ctx, client, url)
+	body, _, err := fetchBusy(ctx, client, url, cfg.RetryBusy, &cs)
 	if err != nil {
 		return cs, fmt.Errorf("container fetch: %w", err)
 	}
@@ -269,7 +299,7 @@ func runClient(ctx context.Context, client *http.Client, cfg LoadConfig, workloa
 		}
 		url := fmt.Sprintf("%s/v1/block/%s/%d?codec=%s", cfg.BaseURL, workload, blockID, cfg.Codec)
 		t0 := time.Now()
-		payload, hdr, err := fetch(ctx, client, url)
+		payload, hdr, err := fetchBusy(ctx, client, url, cfg.RetryBusy, &cs)
 		elapsed := time.Since(t0)
 		lat.Observe(elapsed)
 		cs.requests++
@@ -299,6 +329,7 @@ func runClient(ctx context.Context, client *http.Client, cfg LoadConfig, workloa
 		scratch, verr = verifyBlock(codec, payload, hdr, want[blockID], scratch)
 		if verr != nil {
 			cs.errors++
+			cs.verifyErrors++
 			if cs.firstError == nil {
 				cs.firstError = fmt.Errorf("block %d: %w", blockID, verr)
 			}
@@ -330,7 +361,7 @@ func fetchWordSpan(ctx context.Context, client *http.Client, cfg LoadConfig, wor
 	url := fmt.Sprintf("%s/v1/block/%s/%d?codec=%s&word=%d&words=%d",
 		cfg.BaseURL, workload, blockID, cfg.Codec, word, nwords)
 	t0 := time.Now()
-	body, hdr, err := fetch(ctx, client, url)
+	body, hdr, err := fetchBusy(ctx, client, url, cfg.RetryBusy, cs)
 	elapsed := time.Since(t0)
 	lat.Observe(elapsed)
 	cs.requests++
@@ -348,9 +379,11 @@ func fetchWordSpan(ctx context.Context, client *http.Client, cfg LoadConfig, wor
 		wantSpan := want[word*isa.WordSize : (word+nwords)*isa.WordSize]
 		if !bytes.Equal(body, wantSpan) {
 			err = fmt.Errorf("word span bytes differ from the unpacked image")
+			cs.verifyErrors++
 		} else if h := hdr.Get(HeaderCRC); h != "" {
 			if crc, perr := strconv.ParseUint(h, 16, 32); perr != nil || crc32.ChecksumIEEE(body) != uint32(crc) {
 				err = fmt.Errorf("word span crc mismatch (%s=%q)", HeaderCRC, h)
+				cs.verifyErrors++
 			}
 		}
 	}
@@ -453,7 +486,12 @@ func RunColdWarm(ctx context.Context, cfg Config, lcfg LoadConfig) (*ColdWarmSta
 		if err != nil {
 			return nil, err
 		}
-		httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+		httpSrv := &http.Server{
+			Handler:           srv.Handler(),
+			ReadHeaderTimeout: 10 * time.Second,
+			ReadTimeout:       30 * time.Second,
+			WriteTimeout:      30 * time.Second,
+		}
 		go httpSrv.Serve(ln)
 		defer httpSrv.Close()
 
@@ -495,23 +533,49 @@ func RunColdWarm(ctx context.Context, cfg Config, lcfg LoadConfig) (*ColdWarmSta
 }
 
 // fetch GETs a URL, returning the body and headers; a non-200 status is
-// an error.
+// an error (its code is still returned so callers can classify it).
 func fetch(ctx context.Context, client *http.Client, url string) ([]byte, http.Header, error) {
+	body, hdr, _, err := fetchStatus(ctx, client, url)
+	return body, hdr, err
+}
+
+func fetchStatus(ctx context.Context, client *http.Client, url string) ([]byte, http.Header, int, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, resp.StatusCode, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, nil, fmt.Errorf("%s: %s: %s", url, resp.Status, bytes.TrimSpace(body))
+		return nil, nil, resp.StatusCode,
+			fmt.Errorf("%s: %s: %s", url, resp.Status, bytes.TrimSpace(body))
 	}
-	return body, resp.Header, nil
+	return body, resp.Header, resp.StatusCode, nil
+}
+
+// fetchBusy is fetch under the RetryBusy contract: 429/503/504
+// responses are re-attempted with capped exponential backoff, counting
+// each re-attempt in cs. Other failures return immediately.
+func fetchBusy(ctx context.Context, client *http.Client, url string, retryBusy bool, cs *clientStats) ([]byte, http.Header, error) {
+	for attempt := 0; ; attempt++ {
+		body, hdr, status, err := fetchStatus(ctx, client, url)
+		if err == nil || !retryBusy || !retryableStatus(status) || attempt >= busyRetryMax {
+			return body, hdr, err
+		}
+		cs.busyRetries++
+		d := busyRetryBase << attempt
+		if d > 4*busyRetryBase {
+			d = 4 * busyRetryBase
+		}
+		if !sleepCtx(ctx, d) {
+			return body, hdr, err
+		}
+	}
 }

@@ -169,6 +169,19 @@ type Metrics struct {
 	StoreL2Misses  atomic.Int64 // L1 block misses that fell back to a full rebuild
 	StoreReadahead atomic.Int64 // predicted successor blocks admitted to L1 by coalesced readahead
 
+	// Resilience counters: the retry/breaker/shed machinery on the
+	// serving path (all zero until faults or overload exercise it).
+	Shed            atomic.Int64 // requests rejected 429 by queue-depth admission control
+	RetrySuccess    atomic.Int64 // transient L2 errors that a retry recovered
+	RetryExhausted  atomic.Int64 // transient L2 errors still failing after the last retry
+	RetryAborted    atomic.Int64 // retry loops abandoned because the request context ended
+	BreakerRejects  atomic.Int64 // L2 reads skipped because an entry's breaker was open
+	BreakerOpens    atomic.Int64 // closed/half-open -> open transitions
+	BreakerCloses   atomic.Int64 // half-open -> closed transitions (probe succeeded)
+	BreakerProbes   atomic.Int64 // open -> half-open transitions (cooldown elapsed)
+	BreakerOpen     atomic.Int64 // gauge: entries currently open
+	BreakerHalfOpen atomic.Int64 // gauge: entries currently half-open
+
 	// Histogram maps use an RWMutex with a read-locked fast path: the
 	// maps only ever grow (codec and stage universes are tiny and
 	// fixed), so after warmup every lookup is an RLock + map read —
@@ -312,7 +325,19 @@ func (m *Metrics) WriteTables(w io.Writer, cache CacheStats, pool PoolStats, st 
 			h.Quantile(0.50).String(), h.Quantile(0.90).String(), h.Quantile(0.99).String())
 	}
 
-	tables := []*report.Table{svc, ct, pt, lt}
+	rt := report.NewTable("resilience", "metric", "value")
+	rt.AddRow("shed_total", m.Shed.Load())
+	rt.AddRow("retry_success_total", m.RetrySuccess.Load())
+	rt.AddRow("retry_exhausted_total", m.RetryExhausted.Load())
+	rt.AddRow("retry_aborted_total", m.RetryAborted.Load())
+	rt.AddRow("breaker_rejects_total", m.BreakerRejects.Load())
+	rt.AddRow("breaker_opens_total", m.BreakerOpens.Load())
+	rt.AddRow("breaker_closes_total", m.BreakerCloses.Load())
+	rt.AddRow("breaker_probes_total", m.BreakerProbes.Load())
+	rt.AddRow("breaker_open", m.BreakerOpen.Load())
+	rt.AddRow("breaker_half_open", m.BreakerHalfOpen.Load())
+
+	tables := []*report.Table{svc, ct, pt, lt, rt}
 	if st != nil {
 		dt := report.NewTable("disk store", "metric", "value")
 		dt.AddRow("objects", st.Objects)

@@ -158,9 +158,9 @@ func TestMetricsCSVDialect(t *testing.T) {
 			}
 		}
 	}
-	// service, cache, pool, latency, store.
-	if tables != 5 {
-		t.Errorf("got %d CSV tables, want 5", tables)
+	// service, cache, pool, latency, resilience, store.
+	if tables != 6 {
+		t.Errorf("got %d CSV tables, want 6", tables)
 	}
 }
 

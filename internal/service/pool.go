@@ -6,10 +6,16 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"apbcc/internal/faults"
 )
 
 // ErrPoolClosed reports a submit to a closed pool.
 var ErrPoolClosed = errors.New("service: pool closed")
+
+// faultPoolSubmit injects latency or transient errors at the pool
+// admission boundary, before a job is queued.
+var faultPoolSubmit = faults.Register("service.pool-submit")
 
 // PoolStats is a point-in-time snapshot of pool activity.
 type PoolStats struct {
@@ -43,12 +49,29 @@ type Pool struct {
 	mu     sync.Mutex
 	closed bool
 
-	workers   int
-	submitted atomic.Int64
-	completed atomic.Int64
-	batches   atomic.Int64
-	inFlight  atomic.Int64
+	workers    int
+	queueDepth int
+	submitted  atomic.Int64
+	completed  atomic.Int64
+	batches    atomic.Int64
+	inFlight   atomic.Int64
 }
+
+// Backlog approximates the number of submitted jobs no worker has
+// picked up yet: in-flight minus the worker count, clamped at zero.
+// The admission controller sheds new requests when the backlog
+// reaches the configured depth instead of letting them block on the
+// full queue.
+func (p *Pool) Backlog() int64 {
+	b := p.inFlight.Load() - int64(p.workers)
+	if b < 0 {
+		return 0
+	}
+	return b
+}
+
+// QueueDepth returns the pool's configured queue capacity.
+func (p *Pool) QueueDepth() int { return p.queueDepth }
 
 type poolJob struct {
 	ctx  context.Context
@@ -70,9 +93,10 @@ func NewPool(workers, queueDepth, maxBatch int) *Pool {
 		maxBatch = 1
 	}
 	p := &Pool{
-		jobs:     make(chan poolJob, queueDepth),
-		maxBatch: maxBatch,
-		workers:  workers,
+		jobs:       make(chan poolJob, queueDepth),
+		maxBatch:   maxBatch,
+		workers:    workers,
+		queueDepth: queueDepth,
 	}
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -89,6 +113,9 @@ func NewPool(workers, queueDepth, maxBatch int) *Pool {
 func (p *Pool) Do(ctx context.Context, fn func() error) error {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if err := faultPoolSubmit.Err(); err != nil {
+		return err
 	}
 	j := poolJob{ctx: ctx, fn: fn, done: make(chan error, 1)}
 	p.mu.Lock()

@@ -4,6 +4,7 @@ import (
 	"io"
 	"time"
 
+	"apbcc/internal/faults"
 	"apbcc/internal/obs"
 	"apbcc/internal/pack"
 	"apbcc/internal/store"
@@ -81,6 +82,33 @@ func (m *Metrics) WriteProm(w io.Writer, cache CacheStats, pool PoolStats, st *s
 	p.Family("apcc_verify_unpack_seconds_total", "counter",
 		"Cumulative seconds spent in verification unpacks.")
 	p.Sample("apcc_verify_unpack_seconds_total", nil, time.Duration(ver.NS).Seconds())
+
+	p.Family("apcc_shed_total", "counter",
+		"Requests rejected 429 by queue-depth admission control.")
+	p.Sample("apcc_shed_total", nil, float64(m.Shed.Load()))
+	p.Family("apcc_retries_total", "counter", "Transient L2 read retry loops by outcome.")
+	p.Sample("apcc_retries_total", []obs.Label{{Name: "outcome", Value: "success"}}, float64(m.RetrySuccess.Load()))
+	p.Sample("apcc_retries_total", []obs.Label{{Name: "outcome", Value: "exhausted"}}, float64(m.RetryExhausted.Load()))
+	p.Sample("apcc_retries_total", []obs.Label{{Name: "outcome", Value: "aborted"}}, float64(m.RetryAborted.Load()))
+	p.Family("apcc_breaker_state", "gauge", "Entry circuit breakers currently in each non-closed state.")
+	p.Sample("apcc_breaker_state", []obs.Label{{Name: "state", Value: "open"}}, float64(m.BreakerOpen.Load()))
+	p.Sample("apcc_breaker_state", []obs.Label{{Name: "state", Value: "half-open"}}, float64(m.BreakerHalfOpen.Load()))
+	p.Family("apcc_breaker_transitions_total", "counter", "Circuit-breaker state transitions by kind.")
+	p.Sample("apcc_breaker_transitions_total", []obs.Label{{Name: "kind", Value: "open"}}, float64(m.BreakerOpens.Load()))
+	p.Sample("apcc_breaker_transitions_total", []obs.Label{{Name: "kind", Value: "close"}}, float64(m.BreakerCloses.Load()))
+	p.Sample("apcc_breaker_transitions_total", []obs.Label{{Name: "kind", Value: "probe"}}, float64(m.BreakerProbes.Load()))
+	p.Family("apcc_breaker_rejects_total", "counter", "L2 reads skipped because an entry's breaker was open.")
+	p.Sample("apcc_breaker_rejects_total", nil, float64(m.BreakerRejects.Load()))
+	p.Family("apcc_faults_injected_total", "counter",
+		"Failpoint activations by site and action kind (zero when fault injection is disabled).")
+	for _, site := range faults.Snapshot() {
+		for _, kind := range []string{faults.KindLatency, faults.KindTransient, faults.KindBitFlip} {
+			p.Sample("apcc_faults_injected_total", []obs.Label{
+				{Name: "site", Value: site.Name},
+				{Name: "kind", Value: kind},
+			}, float64(site.Injected[kind]))
+		}
+	}
 
 	rs := rec.Stats()
 	p.Family("apcc_trace_records_total", "counter", "Request traces recorded to the ring buffer.")

@@ -1,0 +1,372 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"apbcc/internal/faults"
+)
+
+// resetFaults clears the process-global fault layer before and after a
+// test that configures it. Tests using it must not run in parallel.
+func resetFaults(t *testing.T) {
+	t.Helper()
+	faults.Reset()
+	t.Cleanup(faults.Reset)
+}
+
+// buildAttached builds (workload, codec) through the HTTP API and
+// waits until the persisted container's store object is attached to
+// the entry — the precondition for every L2 fault test below.
+// persistAsync bumps StorePersists only after the attach.
+func buildAttached(t *testing.T, s *Server, ts *httptest.Server, workload, codec string) {
+	t.Helper()
+	p0 := s.Metrics().StorePersists.Load()
+	code, body, _ := get(t, ts.Client(), ts.URL+"/v1/pack/"+workload+"?codec="+codec)
+	if code != http.StatusOK {
+		t.Fatalf("build %s/%s: %d %s", workload, codec, code, body)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Metrics().StorePersists.Load() <= p0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s/%s container never persisted", workload, codec)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestCorruptReadQuarantinedNeverRetried: a bit flip on the store read
+// path must quarantine the object on the spot — zero retries spent,
+// because corrupt disk cannot get better — while the request itself
+// still succeeds through the rebuild path.
+func TestCorruptReadQuarantinedNeverRetried(t *testing.T) {
+	resetFaults(t)
+	s, ts := newTestServerConfig(t, Config{Workers: 2, StoreDir: t.TempDir()})
+	buildAttached(t, s, ts, "crc32", "dict")
+	if err := faults.Set("store.read-at:p=1,bitflip"); err != nil {
+		t.Fatal(err)
+	}
+	code, body, hdr := get(t, ts.Client(), ts.URL+"/v1/block/crc32/0?codec=dict")
+	if code != http.StatusOK {
+		t.Fatalf("degraded fetch: %d %s", code, body)
+	}
+	if hdr.Get(HeaderCache) != "miss" {
+		t.Fatalf("%s = %q, want miss (rebuild path)", HeaderCache, hdr.Get(HeaderCache))
+	}
+	if got := s.Store().Stats().Quarantined; got != 1 {
+		t.Fatalf("quarantined = %d, want 1", got)
+	}
+	m := s.Metrics()
+	if rs, re := m.RetrySuccess.Load(), m.RetryExhausted.Load(); rs != 0 || re != 0 {
+		t.Fatalf("corrupt read consumed retries: success=%d exhausted=%d, want 0/0", rs, re)
+	}
+	if m.StoreL2Hits.Load() != 0 {
+		t.Fatalf("l2 hits = %d, want 0 (object was corrupt)", m.StoreL2Hits.Load())
+	}
+	// The object is detached: the next cold block skips L2 entirely,
+	// with no further quarantine churn.
+	get(t, ts.Client(), ts.URL+"/v1/block/crc32/1?codec=dict")
+	if got := s.Store().Stats().Quarantined; got != 1 {
+		t.Fatalf("quarantined after detach = %d, want still 1", got)
+	}
+}
+
+// TestTransientRetrySucceeds: exactly one injected transient store
+// error must be absorbed by the retry loop — the request is an L2 hit,
+// nothing is quarantined, and the success is attributed to a retry.
+func TestTransientRetrySucceeds(t *testing.T) {
+	resetFaults(t)
+	s, ts := newTestServerConfig(t, Config{
+		Workers: 2, StoreDir: t.TempDir(), RetryBase: time.Millisecond,
+	})
+	buildAttached(t, s, ts, "crc32", "dict")
+	if err := faults.Set("store.read-at:p=1,err,n=1"); err != nil {
+		t.Fatal(err)
+	}
+	code, body, _ := get(t, ts.Client(), ts.URL+"/v1/block/crc32/0?codec=dict")
+	if code != http.StatusOK {
+		t.Fatalf("fetch under one transient fault: %d %s", code, body)
+	}
+	m := s.Metrics()
+	if got := m.RetrySuccess.Load(); got != 1 {
+		t.Fatalf("retry successes = %d, want 1", got)
+	}
+	if got := m.RetryExhausted.Load(); got != 0 {
+		t.Fatalf("retry exhaustions = %d, want 0", got)
+	}
+	if got := m.StoreL2Hits.Load(); got != 1 {
+		t.Fatalf("l2 hits = %d, want 1 (retry recovered the read)", got)
+	}
+	if got := s.Store().Stats().Quarantined; got != 0 {
+		t.Fatalf("quarantined = %d, want 0 (transient is not corrupt)", got)
+	}
+}
+
+// TestBreakerOpensAndRecovers drives one entry's breaker through its
+// full lifecycle over HTTP: consecutive exhausted retries open it,
+// open short-circuits the L2 read (no retry budget burned), and after
+// the cooldown a successful half-open probe re-attaches the object.
+func TestBreakerOpensAndRecovers(t *testing.T) {
+	resetFaults(t)
+	s, ts := newTestServerConfig(t, Config{
+		Workers: 2, StoreDir: t.TempDir(),
+		RetryBase: time.Millisecond, BreakerCooldown: 50 * time.Millisecond,
+	})
+	buildAttached(t, s, ts, "sha", "dict")
+	if err := faults.Set("store.read-at:p=1,err"); err != nil {
+		t.Fatal(err)
+	}
+	m := s.Metrics()
+	fetchBlock := func(id int) {
+		t.Helper()
+		code, body, _ := get(t, ts.Client(), fmt.Sprintf("%s/v1/block/sha/%d?codec=dict", ts.URL, id))
+		if code != http.StatusOK {
+			t.Fatalf("block %d under faults: %d %s — degraded must not mean down", id, code, body)
+		}
+	}
+	// Default threshold 3: three L1-cold blocks, each exhausting its
+	// retries, open the breaker. Every fetch still serves via rebuild.
+	for id := 0; id < 3; id++ {
+		fetchBlock(id)
+	}
+	if got := m.BreakerOpens.Load(); got != 1 {
+		t.Fatalf("breaker opens = %d, want 1 after %d exhausted reads", got, 3)
+	}
+	if got := m.RetryExhausted.Load(); got != 3 {
+		t.Fatalf("retry exhaustions = %d, want 3", got)
+	}
+	if got := m.BreakerOpen.Load(); got != 1 {
+		t.Fatalf("breaker open gauge = %d, want 1", got)
+	}
+	// While open: the L2 read is skipped outright — no retries burned.
+	ex0 := m.RetryExhausted.Load()
+	fetchBlock(3)
+	if got := m.BreakerRejects.Load(); got == 0 {
+		t.Fatal("open breaker did not short-circuit the L2 read")
+	}
+	if got := m.RetryExhausted.Load(); got != ex0 {
+		t.Fatalf("open breaker still paid a retry loop: exhausted %d -> %d", ex0, got)
+	}
+	// Heal: clear faults, let the cooldown elapse; the next cold block
+	// is the half-open probe and its success closes the breaker.
+	if err := faults.Set(""); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(75 * time.Millisecond)
+	h0 := m.StoreL2Hits.Load()
+	fetchBlock(4)
+	if got := m.BreakerCloses.Load(); got != 1 {
+		t.Fatalf("breaker closes = %d, want 1 after successful probe", got)
+	}
+	if op, hp := m.BreakerOpen.Load(), m.BreakerHalfOpen.Load(); op != 0 || hp != 0 {
+		t.Fatalf("state gauges after close: open=%d half-open=%d, want 0/0", op, hp)
+	}
+	if got := m.StoreL2Hits.Load(); got != h0+1 {
+		t.Fatalf("l2 hits = %d, want %d (probe fetch re-attached the object)", got, h0+1)
+	}
+	if got := s.Store().Stats().Quarantined; got != 0 {
+		t.Fatalf("quarantined = %d, want 0 (transient flapping must not quarantine)", got)
+	}
+}
+
+// TestShedsWith429 fills the worker pool's backlog and checks the
+// admission controller sheds /v1/ requests with 429 + Retry-After
+// while health and metrics endpoints keep answering.
+func TestShedsWith429(t *testing.T) {
+	s, ts := newTestServerConfig(t, Config{
+		Workers: 1, QueueDepth: 4, ShedDepth: 1, TraceRing: -1,
+	})
+	// Wedge the single worker and queue one more job so the backlog
+	// (in-flight minus workers) reaches the shed depth.
+	gate := make(chan struct{})
+	done := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			done <- s.pool.Do(context.Background(), func() error { <-gate; return nil })
+		}()
+	}
+	defer func() {
+		close(gate)
+		<-done
+		<-done
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.pool.Backlog() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("backlog never reached 1 (= %d)", s.pool.Backlog())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	code, body, hdr := get(t, ts.Client(), ts.URL+"/v1/codecs")
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("saturated /v1/ request: %d %s, want 429", code, body)
+	}
+	if got := hdr.Get("Retry-After"); got != "1" {
+		t.Fatalf("Retry-After = %q, want \"1\"", got)
+	}
+	if got := s.Metrics().Shed.Load(); got == 0 {
+		t.Fatal("shed counter did not move")
+	}
+	// Operators keep their endpoints during overload.
+	if code, _, _ := get(t, ts.Client(), ts.URL+"/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz shed with %d — never shed health checks", code)
+	}
+	if code, _, _ := get(t, ts.Client(), ts.URL+"/metrics"); code != http.StatusOK {
+		t.Fatalf("metrics shed with %d — never shed metrics", code)
+	}
+}
+
+// TestDrainFlipsHealthz: BeginDrain must flip /healthz to 503 (so load
+// balancers stop routing here) while the serving path keeps answering
+// in-flight and new requests.
+func TestDrainFlipsHealthz(t *testing.T) {
+	s, ts := newTestServer(t)
+	if code, _, _ := get(t, ts.Client(), ts.URL+"/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz before drain: %d", code)
+	}
+	s.BeginDrain()
+	if !s.Draining() {
+		t.Fatal("Draining() false after BeginDrain")
+	}
+	code, body, _ := get(t, ts.Client(), ts.URL+"/healthz")
+	if code != http.StatusServiceUnavailable || strings.TrimSpace(string(body)) != "draining" {
+		t.Fatalf("healthz during drain: %d %q, want 503 draining", code, body)
+	}
+	if code, _, _ := get(t, ts.Client(), ts.URL+"/v1/block/crc32/0?codec=dict"); code != http.StatusOK {
+		t.Fatalf("serving path during drain: %d, want 200", code)
+	}
+	s.BeginDrain() // idempotent
+}
+
+// TestRequestDeadline504: a request that outlives Config.RequestTimeout
+// must come back 504, not hang on the slow compute.
+func TestRequestDeadline504(t *testing.T) {
+	resetFaults(t)
+	_, ts := newTestServerConfig(t, Config{
+		Workers: 2, RequestTimeout: 50 * time.Millisecond,
+	})
+	// Warm the entry first so the build is not what the deadline hits.
+	if code, _, _ := get(t, ts.Client(), ts.URL+"/v1/pack/crc32?codec=dict"); code != http.StatusOK {
+		t.Fatal("warmup build failed")
+	}
+	if err := faults.Set("service.cache-compute:p=1,lat=200ms,n=1"); err != nil {
+		t.Fatal(err)
+	}
+	code, body, _ := get(t, ts.Client(), ts.URL+"/v1/block/crc32/0?codec=dict")
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("slow compute: %d %s, want 504", code, body)
+	}
+	// The fault was n=1-limited: the same block must now serve fine and
+	// the singleflight key must not be poisoned.
+	code, _, _ = get(t, ts.Client(), ts.URL+"/v1/block/crc32/0?codec=dict")
+	if code != http.StatusOK {
+		t.Fatalf("fetch after deadline miss: %d, want 200", code)
+	}
+}
+
+// TestClientDisconnectMidRebuild is the regression for the coalesced
+// waiter path: a client that disconnects while the singleflight leader
+// is rebuilding must unblock immediately with its context error, while
+// the leader still completes, caches the value, and serves everyone
+// after — no wedged key, no poisoned flight.
+func TestClientDisconnectMidRebuild(t *testing.T) {
+	resetFaults(t)
+	s, ts := newTestServerConfig(t, Config{Workers: 2})
+	if code, _, _ := get(t, ts.Client(), ts.URL+"/v1/pack/crc32?codec=dict"); code != http.StatusOK {
+		t.Fatal("warmup build failed")
+	}
+	// The leader's compute stalls 300ms; the waiter's client gives up
+	// after 30ms.
+	if err := faults.Set("service.cache-compute:p=1,lat=300ms,n=1"); err != nil {
+		t.Fatal(err)
+	}
+	url := ts.URL + "/v1/block/crc32/0?codec=dict"
+	leaderDone := make(chan int, 1)
+	go func() {
+		resp, err := ts.Client().Get(url)
+		if err != nil {
+			leaderDone <- 0
+			return
+		}
+		resp.Body.Close()
+		leaderDone <- resp.StatusCode
+	}()
+	time.Sleep(50 * time.Millisecond) // let the leader enter the compute
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	t0 := time.Now()
+	_, err := ts.Client().Do(req)
+	if err == nil {
+		t.Fatal("disconnected waiter got a response, want context error")
+	}
+	if waited := time.Since(t0); waited > 150*time.Millisecond {
+		t.Fatalf("waiter blocked %v after disconnect — not context-aware", waited)
+	}
+	if code := <-leaderDone; code != http.StatusOK {
+		t.Fatalf("leader finished %d, want 200 (waiter cancellation must not poison the flight)", code)
+	}
+	// The flight completed and cached: the block now serves as a hit.
+	code, _, hdr := get(t, ts.Client(), url)
+	if code != http.StatusOK || hdr.Get(HeaderCache) != "hit" {
+		t.Fatalf("post-disconnect fetch: %d cache=%q, want 200 hit", code, hdr.Get(HeaderCache))
+	}
+	if s.CacheStats().Coalesced != 0 {
+		// The cancelled waiter must have been charged as a miss, not
+		// coalesced-as-hit.
+		t.Fatalf("coalesced = %d, want 0", s.CacheStats().Coalesced)
+	}
+}
+
+// TestChaosScenario runs the full three-phase chaos harness with a
+// fixed seed: injected latency, transient errors and bit flips during
+// load, a forced breaker open, and a healed recovery — with zero wrong
+// bytes end to end.
+func TestChaosScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos scenario is seconds-long")
+	}
+	resetFaults(t)
+	cfg := Config{
+		CacheShards: 4, CacheBytes: 1 << 20, Workers: 2, QueueDepth: 32,
+		StoreDir:  t.TempDir(),
+		RetryBase: time.Millisecond, BreakerCooldown: 50 * time.Millisecond,
+		TraceRing: -1,
+	}
+	lcfg := LoadConfig{
+		Workload: "sha", Codec: "dict", Clients: 4, Steps: 60, Seed: 7,
+	}
+	profile := "store.read-at:p=0.2,lat=1ms;store.read-at:p=0.05,err;store.read-at:p=0.02,bitflip"
+	st, err := RunChaos(context.Background(), cfg, lcfg, profile, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if st.WrongBytes != 0 {
+		t.Fatalf("wrong bytes = %d, want 0", st.WrongBytes)
+	}
+	if st.Injected[faults.KindTransient] == 0 {
+		t.Fatal("no transient faults injected — the run exercised nothing")
+	}
+	if st.BreakerOpens == 0 || st.BreakerCloses == 0 {
+		t.Fatalf("breaker opens=%d closes=%d, want both > 0", st.BreakerOpens, st.BreakerCloses)
+	}
+	if st.DegradedFetches == 0 {
+		t.Fatal("no degraded fetches recorded")
+	}
+	var sb strings.Builder
+	if err := st.WriteReport(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "wrong_bytes") {
+		t.Fatalf("report missing wrong_bytes row:\n%s", sb.String())
+	}
+}

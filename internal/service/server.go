@@ -19,6 +19,8 @@ import (
 
 	"apbcc/internal/cfg"
 	"apbcc/internal/compress"
+	"apbcc/internal/errclass"
+	"apbcc/internal/faults"
 	"apbcc/internal/isa"
 	"apbcc/internal/obs"
 	"apbcc/internal/pack"
@@ -51,6 +53,14 @@ const (
 
 // maxAsmBody bounds POST /v1/pack request bodies.
 const maxAsmBody = 1 << 20
+
+// faultCacheCompute injects latency or transient errors into the L1
+// miss compute, upstream of both the L2 read and the rebuild path.
+var faultCacheCompute = faults.Register("service.cache-compute")
+
+// retryCap bounds a single retry backoff sleep; with the default
+// 2ms base the bounded schedule is ~2/4/8ms of jittered delay.
+const retryCap = 50 * time.Millisecond
 
 // Config sizes the serving subsystem. Zero values select defaults.
 type Config struct {
@@ -93,6 +103,34 @@ type Config struct {
 	// recycling as exemplars (default 8). Only meaningful with tracing
 	// enabled.
 	TraceExemplars int
+	// RequestTimeout is the per-request deadline applied by the
+	// instrumented handler: the request context is cancelled when it
+	// expires, which aborts coalesced waits, L2 retry backoffs, and
+	// queued pool work, and the client gets 504. 0 disables (default).
+	RequestTimeout time.Duration
+	// RetryMax bounds how many times a transient L2 store error is
+	// retried (with jittered exponential backoff) before the read
+	// degrades to the rebuild path. 0 selects the default of 3;
+	// negative disables retries. Corrupt reads are never retried.
+	RetryMax int
+	// RetryBase scales the retry backoff: retry n sleeps a uniformly
+	// jittered duration up to RetryBase<<n (capped). Default 2ms.
+	RetryBase time.Duration
+	// BreakerThreshold is the consecutive-failure count that opens an
+	// entry's L2 circuit breaker, detaching the serving path from a
+	// flapping store object (requests degrade to rebuilds without
+	// paying a failing disk read each). 0 selects the default of 3;
+	// negative disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker waits before
+	// letting one half-open probe through; the probe's success
+	// re-attaches the object. Default 500ms.
+	BreakerCooldown time.Duration
+	// ShedDepth is the pool backlog (queued, unstarted jobs) at which
+	// the admission controller sheds /v1/ requests with 429 and
+	// Retry-After instead of letting them block on a saturated queue.
+	// 0 selects the pool's queue depth; negative disables shedding.
+	ShedDepth int
 	// Log receives the server's structured events (request debug lines,
 	// quarantines, eviction storms). nil discards everything.
 	Log *slog.Logger
@@ -129,6 +167,27 @@ func (c Config) withDefaults() Config {
 	if c.TraceExemplars <= 0 {
 		c.TraceExemplars = 8
 	}
+	if c.RetryMax == 0 {
+		c.RetryMax = 3
+	}
+	if c.RetryMax < 0 {
+		c.RetryMax = 0
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 2 * time.Millisecond
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 500 * time.Millisecond
+	}
+	if c.ShedDepth == 0 {
+		c.ShedDepth = c.QueueDepth
+	}
+	if c.ShedDepth < 0 {
+		c.ShedDepth = 0
+	}
 	if c.Log == nil {
 		c.Log = obs.Discard
 	}
@@ -159,6 +218,12 @@ type Server struct {
 	handler    http.Handler
 	rec        *obs.Recorder // nil when tracing is disabled
 	log        *slog.Logger  // never nil (obs.Discard by default)
+
+	timeout   time.Duration // per-request deadline (0 = none)
+	retry     retryPolicy   // transient L2 error retry schedule
+	brkCfg    breakerConfig // per-entry circuit breaker sizing
+	shedDepth int           // pool backlog that triggers 429 shedding (0 = off)
+	draining  atomic.Bool   // BeginDrain was called; /healthz reports 503
 
 	mu      sync.Mutex
 	entries map[string]*entry
@@ -202,6 +267,11 @@ type entry struct {
 	// immediately on a warm restore); nil when no store is configured
 	// or the object went corrupt and was detached.
 	obj atomic.Pointer[store.Object]
+
+	// brk is the entry's L2 circuit breaker: consecutive read
+	// failures open it and requests skip the object (rebuild path)
+	// until a half-open probe succeeds. nil when disabled.
+	brk *breaker
 }
 
 // New builds a Server. Call Close when done to stop the worker pool.
@@ -222,6 +292,14 @@ func New(cfg Config) (*Server, error) {
 		entries:    make(map[string]*entry),
 		unp:        pack.NewUnpacker(),
 		log:        cfg.Log,
+		timeout:    cfg.RequestTimeout,
+		retry:      retryPolicy{max: cfg.RetryMax, base: cfg.RetryBase, cap: retryCap},
+		shedDepth:  cfg.ShedDepth,
+	}
+	s.brkCfg = breakerConfig{
+		threshold:    cfg.BreakerThreshold,
+		cooldown:     cfg.BreakerCooldown,
+		onTransition: s.onBreakerTransition,
 	}
 	if cfg.TraceRing > 0 {
 		s.rec = obs.NewRecorder(cfg.TraceRing, cfg.TraceExemplars)
@@ -243,6 +321,7 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /metrics/prom", s.handleMetricsProm)
 	mux.HandleFunc("GET /debug/trace", s.handleTrace)
+	mux.Handle("/debug/faults", faults.Handler())
 	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	mux.HandleFunc("GET /v1/codecs", s.handleCodecs)
 	mux.HandleFunc("GET /v1/pack/{workload}", s.handlePackWorkload)
@@ -286,18 +365,73 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 // CacheStats exposes the block cache aggregate.
 func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
 
-// instrument wraps the mux with request/error/in-flight accounting.
+// onBreakerTransition keeps the breaker transition counters and the
+// per-state gauges in step with every entry breaker's state machine.
+// Invoked by the breaker outside its lock.
+func (s *Server) onBreakerTransition(from, to breakerState) {
+	switch from {
+	case brkOpen:
+		s.metrics.BreakerOpen.Add(-1)
+	case brkHalfOpen:
+		s.metrics.BreakerHalfOpen.Add(-1)
+	}
+	switch to {
+	case brkOpen:
+		s.metrics.BreakerOpens.Add(1)
+		s.metrics.BreakerOpen.Add(1)
+	case brkHalfOpen:
+		s.metrics.BreakerProbes.Add(1)
+		s.metrics.BreakerHalfOpen.Add(1)
+	case brkClosed:
+		s.metrics.BreakerCloses.Add(1)
+	}
+	s.log.Info("l2 circuit breaker transition", "from", from.String(), "to", to.String())
+}
+
+// BeginDrain flips the server into draining mode: /healthz starts
+// reporting 503 so load balancers stop routing here, while in-flight
+// and new requests still complete. Call before http.Server.Shutdown.
+func (s *Server) BeginDrain() {
+	if s.draining.CompareAndSwap(false, true) {
+		s.log.Info("drain started: /healthz now reports 503")
+	}
+}
+
+// Draining reports whether BeginDrain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// instrument wraps the mux with request/error/in-flight accounting,
+// queue-depth admission control (shed with 429 + Retry-After instead
+// of blocking on a saturated pool), and the per-request deadline.
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.metrics.Requests.Add(1)
 		s.metrics.InFlight.Add(1)
 		defer s.metrics.InFlight.Add(-1)
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		next.ServeHTTP(rec, r)
-		if rec.status >= 400 {
-			s.metrics.Errors.Add(1)
+		defer func() {
+			if rec.status >= 400 {
+				s.metrics.Errors.Add(1)
+			}
+			s.metrics.BytesSent.Add(rec.bytes)
+		}()
+		// Shed serving-path requests while the pool backlog is at the
+		// configured depth: a request admitted now would only block on
+		// the full queue. Health, metrics, and debug endpoints are
+		// never shed — operators need them most during overload.
+		if s.shedDepth > 0 && strings.HasPrefix(r.URL.Path, "/v1/") &&
+			s.pool.Backlog() >= int64(s.shedDepth) {
+			s.metrics.Shed.Add(1)
+			rec.Header().Set("Retry-After", "1")
+			http.Error(rec, "server overloaded: worker queue saturated", http.StatusTooManyRequests)
+			return
 		}
-		s.metrics.BytesSent.Add(rec.bytes)
+		if s.timeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		next.ServeHTTP(rec, r)
 	})
 }
 
@@ -320,6 +454,11 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "draining\n")
+		return
+	}
 	io.WriteString(w, "ok\n")
 }
 
@@ -499,6 +638,9 @@ func (s *Server) handleBlock(w http.ResponseWriter, r *http.Request) {
 		// This compute runs synchronously on the request goroutine (the
 		// singleflight leader), so it may use ctx's trace; the pool fn
 		// below runs on a worker and must not.
+		if err := faultCacheCompute.Err(); err != nil {
+			return nil, 0, err
+		}
 		// L2 first: one ReadAt through the container index plus a
 		// decompress-verify is far cheaper than re-running the
 		// compressor on the plain image.
@@ -539,6 +681,14 @@ func (s *Server) handleBlock(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.finishTrace(tr, obs.OutcomeError)
 		http.Error(w, err.Error(), statusFor(err))
+		return
+	}
+	if ctx.Err() != nil {
+		// The deadline fired while the payload was being produced (the
+		// leader completes detached from our context); don't start a
+		// response write the client already gave up on.
+		s.finishTrace(tr, obs.OutcomeError)
+		http.Error(w, ctx.Err().Error(), statusFor(ctx.Err()))
 		return
 	}
 	outcome := obs.OutcomeMiss
@@ -732,15 +882,22 @@ func (s *Server) finishTrace(tr *obs.Trace, outcome string) {
 // blockFromStore is the L2 tier: read block id's compressed payload
 // from the entry's open store object via the container index,
 // decompress-verify it against the index CRC, and cross-check the
-// plain image CRC the entry advertises to clients. When readahead is
-// on, the entry's prefetch scores extend the same ReadAt with the
-// blocks execution is most likely to demand next; each one that
-// verifies is admitted to the L1 cache, so the successor fetch that
-// was about to miss hits instead. All disk bytes and decode scratch
-// move through pooled buffers — the steady-state read path allocates
-// only the exact-size copies the cache keeps. A verification failure
-// quarantines the object and detaches it so the path degrades to full
-// rebuilds instead of retrying corrupt disk forever.
+// plain image CRC the entry advertises to clients. The read attempt
+// itself lives in l2Attempt; this wrapper classifies its failures and
+// reacts per class:
+//
+//   - corrupt: quarantine and detach the object immediately — never
+//     retried, corrupt disk cannot get better.
+//   - transient: retry with jittered exponential backoff up to the
+//     configured budget, then count the failure against the entry's
+//     circuit breaker.
+//   - context ended: abort without judging the object.
+//   - anything else (fatal): one breaker strike, no retry.
+//
+// Enough consecutive failures open the entry's breaker: requests then
+// skip the object entirely (degrading to the rebuild path) until a
+// half-open probe succeeds and re-attaches it. Every failure path
+// counts one StoreL2Miss so hits+misses still equal L2 lookups.
 func (s *Server) blockFromStore(ctx context.Context, ent *entry, id int) ([]byte, bool) {
 	obj := ent.obj.Load()
 	if obj == nil {
@@ -749,10 +906,62 @@ func (s *Server) blockFromStore(ctx context.Context, ent *entry, id int) ([]byte
 		}
 		return nil, false
 	}
-	tr := obs.FromContext(ctx)
-	detach := func(what string, err error) {
-		s.detachObject(tr, ent, obj, id, what, err)
+	if !ent.brk.Allow(time.Now()) {
+		s.metrics.BreakerRejects.Add(1)
+		s.metrics.StoreL2Misses.Add(1)
+		return nil, false
 	}
+	tr := obs.FromContext(ctx)
+	for attempt := 0; ; attempt++ {
+		out, err := s.l2Attempt(ctx, tr, ent, obj, id)
+		if err == nil {
+			if attempt > 0 {
+				s.metrics.RetrySuccess.Add(1)
+			}
+			ent.brk.Result(true)
+			s.metrics.StoreL2Hits.Add(1)
+			return out, true
+		}
+		switch {
+		case errclass.IsCorrupt(err):
+			// Corrupt bytes are never retried: quarantine now so the
+			// object cannot serve anyone again.
+			ent.brk.Result(false)
+			s.detachObject(tr, ent, obj, id, "l2 read", err)
+		case errclass.IsTransient(err) && attempt < s.retry.max:
+			if sleepCtx(ctx, s.retry.backoff(attempt)) {
+				continue
+			}
+			// The request died mid-backoff; don't blame the object.
+			s.metrics.RetryAborted.Add(1)
+			ent.brk.Abort()
+		case errclass.IsTransient(err):
+			s.metrics.RetryExhausted.Add(1)
+			ent.brk.Result(false)
+			s.log.Warn("l2 read transient failure exhausted retries, degrading to rebuild",
+				"key", shortKey(obj.Key()), "block", id, "retries", s.retry.max, "err", err)
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			ent.brk.Abort()
+		default:
+			ent.brk.Result(false)
+		}
+		s.metrics.StoreL2Misses.Add(1)
+		return nil, false
+	}
+}
+
+// l2Attempt is one try at the L2 read: plan the coalesced readahead
+// span, read it, decompress-verify the demand block, and admit every
+// verified readahead candidate into L1. When readahead is on, the
+// entry's prefetch scores extend the same ReadAt with the blocks
+// execution is most likely to demand next, so the successor fetch that
+// was about to miss hits instead. All disk bytes and decode scratch
+// move through pooled buffers — the steady-state read path allocates
+// only the exact-size copies the cache keeps. Demand-path errors are
+// returned raw (unclassified, unquarantined) for blockFromStore to
+// triage; a corrupt readahead candidate quarantines here since the
+// demand block was still served.
+func (s *Server) l2Attempt(ctx context.Context, tr *obs.Trace, ent *entry, obj *store.Object, id int) ([]byte, error) {
 	idx := obj.Index()
 	// Plan the coalesced span: forward readahead candidates inside the
 	// window that are not already resident, capped in compressed bytes.
@@ -783,9 +992,7 @@ func (s *Server) blockFromStore(ctx context.Context, ent *entry, id int) ([]byte
 	defer func() { compress.PutBuf(buf) }()
 	buf, err := obj.ReadBlockRangeCtx(ctx, id, hi, buf[:0])
 	if err != nil {
-		detach("block range read", err)
-		s.metrics.StoreL2Misses.Add(1)
-		return nil, false
+		return nil, err
 	}
 	scratch := compress.GetBuf(len(ent.plain[id]))
 	defer func() { compress.PutBuf(scratch) }()
@@ -793,9 +1000,7 @@ func (s *Server) blockFromStore(ctx context.Context, ent *entry, id int) ([]byte
 	// the index verify below is also the entry-level integrity check.
 	comp := idx.PayloadRangeSlice(buf, 0, id, id)
 	if _, err := idx.VerifyBlockCtx(ctx, ent.codec, id, comp, scratch[:0]); err != nil {
-		detach("demand block verify", err)
-		s.metrics.StoreL2Misses.Add(1)
-		return nil, false
+		return nil, err
 	}
 	// The cache retains values indefinitely; hand it exact-size copies
 	// and recycle the (span-sized) read buffer.
@@ -814,12 +1019,17 @@ func (s *Server) blockFromStore(ctx context.Context, ent *entry, id int) ([]byte
 			scratch = compress.GetBuf(need)
 		}
 		if _, err := idx.VerifyBlock(ent.codec, ci, ccomp, scratch[:0]); err != nil {
-			// Speculative bytes failed verification: the object is as
-			// corrupt as if the demand read had failed.
-			detach("readahead block verify", err)
-			rasp.End(obs.OutcomeCorrupt)
-			s.metrics.StoreL2Hits.Add(1) // the demand block itself was served
-			return out, true
+			if errclass.IsCorrupt(err) {
+				// Speculative bytes failed verification: the object is as
+				// corrupt as if the demand read had failed.
+				s.detachObject(tr, ent, obj, id, "readahead block verify", err)
+				rasp.End(obs.OutcomeCorrupt)
+			} else {
+				// Transient (or fatal) readahead trouble: stop speculating,
+				// keep the object — the demand block verified fine.
+				rasp.End(obs.OutcomeError)
+			}
+			return out, nil // the demand block itself was served
 		}
 		cost := ent.codec.Cost().CompressCycles(len(ent.plain[ci]))
 		if s.cache.Add(ent.keys[ci], bytes.Clone(ccomp), cost) {
@@ -827,8 +1037,7 @@ func (s *Server) blockFromStore(ctx context.Context, ent *entry, id int) ([]byte
 		}
 	}
 	rasp.End(obs.OutcomeOK)
-	s.metrics.StoreL2Hits.Add(1)
-	return out, true
+	return out, nil
 }
 
 // codecParam extracts the codec query parameter, defaulting to dict.
@@ -856,7 +1065,7 @@ func (s *Server) entryFor(ctx context.Context, workload, codecName string) (*ent
 	s.mu.Lock()
 	ent, ok := s.entries[key]
 	if !ok {
-		ent = &entry{ready: make(chan struct{})}
+		ent = &entry{ready: make(chan struct{}), brk: newBreaker(s.brkCfg)}
 		s.entries[key] = ent
 		s.mu.Unlock()
 		bsp := obs.FromContext(ctx).Begin(obs.StageBuild)
@@ -879,7 +1088,7 @@ func (s *Server) entryFor(ctx context.Context, workload, codecName string) (*ent
 		select {
 		case <-ent.ready:
 		case <-ctx.Done():
-			return nil, http.StatusServiceUnavailable, ctx.Err()
+			return nil, statusFor(ctx.Err()), ctx.Err()
 		}
 	}
 	if ent.err != nil {
@@ -894,8 +1103,14 @@ func statusFor(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, compress.ErrUnknownCodec):
 		return http.StatusBadRequest
-	case errors.Is(err, ErrPoolClosed), errors.Is(err, context.Canceled),
-		errors.Is(err, context.DeadlineExceeded):
+	case errors.Is(err, context.DeadlineExceeded):
+		// The per-request deadline fired while we were working upstream.
+		return http.StatusGatewayTimeout
+	case errors.Is(err, ErrPoolClosed), errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	case errclass.IsTransient(err):
+		// A transient failure that exhausted its retries: the client may
+		// retry; the resource is not (known to be) corrupt.
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError

@@ -33,8 +33,19 @@ import (
 	"sync/atomic"
 
 	"apbcc/internal/compress"
+	"apbcc/internal/faults"
 	"apbcc/internal/obs"
 	"apbcc/internal/pack"
+)
+
+// Failpoints on the store's disk boundaries. store.read-at carries
+// the bit-flip actions for the whole read path: a flipped payload
+// byte surfaces downstream as a CRC/hash mismatch, which is exactly
+// the corruption the quarantine machinery must catch.
+var (
+	faultReadAt = faults.Register("store.read-at")
+	faultWrite  = faults.Register("store.write")
+	faultFsync  = faults.Register("store.fsync")
 )
 
 // Errors.
@@ -202,9 +213,16 @@ func (s *Store) writeRename(data []byte, dst string) error {
 		return fmt.Errorf("store: %w", err)
 	}
 	tmp := f.Name()
-	if _, err := f.Write(data); err == nil {
-		err = f.Sync()
-	} else {
+	err = faultWrite.Err()
+	if err == nil {
+		_, err = f.Write(data)
+	}
+	if err == nil {
+		if err = faultFsync.Err(); err == nil {
+			err = f.Sync()
+		}
+	}
+	if err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return fmt.Errorf("store: %w", err)
@@ -226,10 +244,14 @@ func (s *Store) Get(key string) ([]byte, error) {
 	if !s.objectExists(key) {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, short(key))
 	}
+	if err := faultReadAt.Err(); err != nil {
+		return nil, fmt.Errorf("store: get %s: %w", short(key), err)
+	}
 	data, err := os.ReadFile(s.objectPath(key))
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
+	faultReadAt.Mangle(data)
 	if hashKey(data) != key {
 		s.Quarantine(key)
 		return nil, fmt.Errorf("%w: %s fails content hash", ErrCorrupt, short(key))
@@ -361,10 +383,14 @@ func (o *Object) ReadBlock(i int) ([]byte, error) {
 // readahead: one seek serves a block and its likely successors.
 func (o *Object) ReadBlockRange(lo, hi int, dst []byte) ([]byte, error) {
 	base := len(dst)
+	if err := faultReadAt.Err(); err != nil {
+		return nil, fmt.Errorf("store: %s blocks %d..%d: %w", short(o.key), lo, hi, err)
+	}
 	out, err := o.idx.ReadPayloadRangeAt(o.f, lo, hi, dst)
 	if err != nil {
 		return nil, err
 	}
+	faultReadAt.Mangle(out[base:])
 	o.store.blockReads.Add(int64(hi - lo + 1))
 	o.store.blockBytes.Add(int64(len(out) - base))
 	return out, nil
@@ -404,10 +430,15 @@ func (o *Object) HasGroupIndex() bool { return o.idx.HasGroupIndex() }
 // image should cross-check the span before serving it.
 func (o *Object) ReadWordRange(codec compress.Codec, block, word, nwords int, compDst, plainDst []byte) (comp, plain []byte, err error) {
 	cbase := len(compDst)
+	pbase := len(plainDst)
+	if err := faultReadAt.Err(); err != nil {
+		return compDst, plainDst, fmt.Errorf("store: %s block %d words %d+%d: %w", short(o.key), block, word, nwords, err)
+	}
 	comp, plain, err = o.idx.ReadWordRangeAt(o.f, codec, block, word, nwords, compDst, plainDst)
 	if err != nil {
 		return comp, plain, err
 	}
+	faultReadAt.Mangle(plain[pbase:])
 	o.store.wordReads.Add(1)
 	o.store.wordReadBytes.Add(int64(len(comp) - cbase))
 	return comp, plain, nil
@@ -447,6 +478,12 @@ func (o *Object) VerifiedBlock(codec compress.Codec, i int, compDst, plainDst []
 	}
 	plain, err = o.idx.VerifyBlock(codec, i, comp[base:], plainDst)
 	if err != nil {
+		// An injected transient decode fault is a timing failure, not
+		// bad bytes: let it keep its class so the retry path (rather
+		// than quarantine) handles it.
+		if errors.Is(err, faults.ErrTransient) {
+			return nil, nil, fmt.Errorf("store: %s block %d: %w", short(o.key), i, err)
+		}
 		return nil, nil, fmt.Errorf("%w: %s block %d: %v", ErrCorrupt, short(o.key), i, err)
 	}
 	return comp[base:], plain, nil
