@@ -57,6 +57,7 @@ func main() {
 		reqTimeout = flag.Duration("request-timeout", 0, "per-request deadline; expired requests get 504 (0 disables)")
 		faultSpec  = flag.String("faults", "", "fault-injection spec, e.g.\n'store.read-at:p=0.1,lat=2ms;store.read-at:p=0.01,err'\n(also settable at runtime via POST /debug/faults)")
 		faultSeed  = flag.Uint64("fault-seed", 1, "fault-injection PRNG seed (deterministic replay)")
+		faultsHTTP = flag.Bool("debug-faults", false, "mount the GET/POST /debug/faults runtime fault-control endpoint on\nthe serving mux (implied by -faults). Off by default: the endpoint\nmutates process-global fault state, so never expose it to untrusted\nclients")
 		chaos      = flag.Bool("chaos", false, "run the three-phase chaos scenario (requires -store):\nload under -faults (default "+
 			"10% lat / 1% err / 0.1% bitflip on store reads),\nforced breaker open, healed recovery; exits non-zero on wrong bytes")
 		retryBusy = flag.Bool("retry-busy", false, "loadgen: retry 429/503/504 responses with capped backoff")
@@ -98,6 +99,7 @@ func main() {
 		ReadaheadK:     *rahead,
 		TraceRing:      *traceRing,
 		RequestTimeout: *reqTimeout,
+		DebugFaults:    *faultsHTTP || *faultSpec != "",
 		Log:            logger,
 	}
 

@@ -57,12 +57,13 @@ func addressWithDigest(codecName string, modelDigest [sha256.Size]byte, plain []
 
 // CacheStats is a point-in-time aggregate over all shards.
 type CacheStats struct {
-	Hits      int64 // entry found resident
-	Misses    int64 // compute ran (or a shared compute failed)
-	Coalesced int64 // request piggybacked on an in-flight compute that succeeded
-	Evictions int64
-	Entries   int64
-	Bytes     int64
+	Hits       int64 // entry found resident
+	Misses     int64 // compute ran (or a shared compute failed)
+	Coalesced  int64 // request piggybacked on an in-flight compute that succeeded
+	WaitAborts int64 // coalesced waiter whose context ended first: neither hit nor miss
+	Evictions  int64
+	Entries    int64
+	Bytes      int64
 }
 
 // HitRate returns Hits / (Hits + Misses), counting coalesced requests
@@ -220,6 +221,7 @@ func (c *BlockCache) Stats() CacheStats {
 		s.Hits += sh.hits
 		s.Misses += sh.misses
 		s.Coalesced += sh.coalesced
+		s.WaitAborts += sh.waitAborts
 		s.Evictions += sh.evictions
 		s.Entries += int64(len(sh.items))
 		s.Bytes += int64(sh.bytes)
@@ -262,7 +264,7 @@ type cacheShard struct {
 	inflight map[string]*flight
 	onStorm  func(key string, evicted int) // invoked outside the lock
 
-	hits, misses, coalesced, evictions int64
+	hits, misses, coalesced, waitAborts, evictions int64
 }
 
 // tick advances the shard's logical clock; caller holds the lock.
@@ -305,8 +307,11 @@ func (s *cacheShard) getOrCompute(ctx context.Context, key string, compute func(
 		select {
 		case <-fl.done:
 		case <-ctx.Done():
+			// The waiter gave up before the compute finished: it neither
+			// hit nor ran a compute, so charging a miss here would skew
+			// HitRate under request timeouts and client disconnects.
 			s.mu.Lock()
-			s.misses++
+			s.waitAborts++
 			s.mu.Unlock()
 			sp.End(obs.OutcomeError)
 			return nil, false, ctx.Err()

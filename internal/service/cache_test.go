@@ -398,3 +398,49 @@ func TestCacheEvictionIsInsertionLRU(t *testing.T) {
 		}
 	}
 }
+
+// TestCacheCancelledWaiterNotAMiss pins the wait-abort accounting: a
+// coalesced waiter whose context ends before the leader's compute
+// finishes neither hit nor ran a compute, so it must charge the
+// WaitAborts counter — not Misses — or request timeouts and client
+// disconnects would skew HitRate.
+func TestCacheCancelledWaiterNotAMiss(t *testing.T) {
+	c := NewBlockCache(1, 1<<20)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.GetOrComputeCost(context.Background(), "k", func() ([]byte, int64, error) {
+			close(entered)
+			<-release
+			return []byte("v"), 1, nil
+		})
+		leaderDone <- err
+	}()
+	<-entered
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := c.GetOrComputeCost(ctx, "k", func() ([]byte, int64, error) {
+		t.Error("cancelled waiter ran the compute")
+		return nil, 0, nil
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter err = %v, want context.Canceled", err)
+	}
+	close(release)
+	if err := <-leaderDone; err != nil {
+		t.Fatal(err)
+	}
+	s := c.Stats()
+	if s.Misses != 1 {
+		t.Fatalf("misses = %d, want 1 (the leader only)", s.Misses)
+	}
+	if s.WaitAborts != 1 {
+		t.Fatalf("wait aborts = %d, want 1 (the cancelled waiter)", s.WaitAborts)
+	}
+	if s.Hits != 0 || s.Coalesced != 0 {
+		t.Fatalf("hits=%d coalesced=%d, want 0/0", s.Hits, s.Coalesced)
+	}
+	if got := s.HitRate(); got != 0 {
+		t.Fatalf("hit rate = %v, want 0 (one miss, no hits; abort excluded)", got)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"apbcc/internal/compress"
 	"apbcc/internal/faults"
 	"apbcc/internal/report"
 	"apbcc/internal/workloads"
@@ -155,6 +156,22 @@ func RunChaos(ctx context.Context, cfg Config, lcfg LoadConfig, profile string, 
 	// Phases 2 and 3 drive one fresh entry deterministically: a codec
 	// phase 1 did not use, so every block fetch below is L1-cold and
 	// must attempt the L2 read that the injected faults then fail.
+	// The codec is picked from the registry rather than hardcoded so
+	// running chaos with any -codec still leaves phases 2/3 cold.
+	loadCodec := lcfg.Codec
+	if loadCodec == "" {
+		loadCodec = "dict" // RunLoad's default: what phase 1 actually used
+	}
+	coldCodec := ""
+	for _, name := range compress.Names() {
+		if name != loadCodec {
+			coldCodec = name
+			break
+		}
+	}
+	if coldCodec == "" {
+		return nil, fmt.Errorf("chaos: no registered codec distinct from %q for phases 2/3", loadCodec)
+	}
 	wl := strings.TrimSpace(strings.Split(lcfg.Workload, ",")[0])
 	w, err := workloads.ByName(wl)
 	if err != nil {
@@ -164,15 +181,16 @@ func RunChaos(ctx context.Context, cfg Config, lcfg LoadConfig, profile string, 
 	m := srv.Metrics()
 	client := &http.Client{}
 	fetchBlock := func(id int) error {
-		_, _, err := fetch(ctx, client, fmt.Sprintf("%s/v1/block/%s/%d?codec=rle", base, wl, id))
+		_, _, err := fetch(ctx, client, fmt.Sprintf("%s/v1/block/%s/%d?codec=%s", base, wl, id, coldCodec))
 		return err
 	}
 
-	// Build the rle entry and wait for its container to persist and
-	// attach — the L2 object phases 2/3 exercise. persistAsync bumps
-	// StorePersists only after the attach, so polling it is enough.
+	// Build the cold-codec entry and wait for its container to persist
+	// and attach — the L2 object phases 2/3 exercise. persistAsync
+	// bumps StorePersists only after the attach, so polling it is
+	// enough.
 	persists0 := m.StorePersists.Load()
-	if _, _, err := fetch(ctx, client, base+"/v1/pack/"+wl+"?codec=rle"); err != nil {
+	if _, _, err := fetch(ctx, client, base+"/v1/pack/"+wl+"?codec="+coldCodec); err != nil {
 		return nil, fmt.Errorf("chaos phase 2 container build: %w", err)
 	}
 	deadline := time.Now().Add(chaosPhaseTimeout)

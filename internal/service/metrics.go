@@ -305,6 +305,7 @@ func (m *Metrics) WriteTables(w io.Writer, cache CacheStats, pool PoolStats, st 
 	ct.AddRow("hits", cache.Hits)
 	ct.AddRow("misses", cache.Misses)
 	ct.AddRow("coalesced", cache.Coalesced)
+	ct.AddRow("wait_aborts", cache.WaitAborts)
 	ct.AddRow("hit_rate", fmt.Sprintf("%.4f", cache.HitRate()))
 	ct.AddRow("evictions", cache.Evictions)
 	ct.AddRow("entries", cache.Entries)

@@ -56,7 +56,8 @@ func (m *Metrics) WriteProm(w io.Writer, cache CacheStats, pool PoolStats, st *s
 		v    int64
 	}{
 		{"hit", cache.Hits}, {"miss", cache.Misses},
-		{"coalesced", cache.Coalesced}, {"eviction", cache.Evictions},
+		{"coalesced", cache.Coalesced}, {"wait_abort", cache.WaitAborts},
+		{"eviction", cache.Evictions},
 	} {
 		p.Sample("apcc_cache_events_total", []obs.Label{{Name: "event", Value: e.kind}}, float64(e.v))
 	}

@@ -318,9 +318,37 @@ func TestClientDisconnectMidRebuild(t *testing.T) {
 		t.Fatalf("post-disconnect fetch: %d cache=%q, want 200 hit", code, hdr.Get(HeaderCache))
 	}
 	if s.CacheStats().Coalesced != 0 {
-		// The cancelled waiter must have been charged as a miss, not
-		// coalesced-as-hit.
+		// The cancelled waiter must not be counted coalesced-as-hit.
 		t.Fatalf("coalesced = %d, want 0", s.CacheStats().Coalesced)
+	}
+	if got := s.CacheStats().WaitAborts; got != 1 {
+		// Nor as a miss: the disconnect is a wait abort, full stop.
+		t.Fatalf("wait aborts = %d, want 1 (the disconnected waiter)", got)
+	}
+}
+
+// TestFaultsEndpointGated: the /debug/faults control endpoint mutates
+// process-global fault state (one POST can fail every store read and
+// quarantine healthy objects), so the serving mux must not expose it
+// unless Config.DebugFaults explicitly opts in.
+func TestFaultsEndpointGated(t *testing.T) {
+	resetFaults(t)
+	_, ts := newTestServerConfig(t, Config{Workers: 2})
+	if code, _, _ := get(t, ts.Client(), ts.URL+"/debug/faults"); code != http.StatusNotFound {
+		t.Fatalf("GET /debug/faults on a default server: %d, want 404", code)
+	}
+	resp, err := ts.Client().Post(ts.URL+"/debug/faults?spec=store.read-at:p=1,err", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("POST /debug/faults on a default server: %d, want 404", resp.StatusCode)
+	}
+
+	_, armed := newTestServerConfig(t, Config{Workers: 2, DebugFaults: true})
+	if code, _, _ := get(t, armed.Client(), armed.URL+"/debug/faults"); code != http.StatusOK {
+		t.Fatalf("GET /debug/faults with DebugFaults: %d, want 200", code)
 	}
 }
 

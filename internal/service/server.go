@@ -131,6 +131,14 @@ type Config struct {
 	// Retry-After instead of letting them block on a saturated queue.
 	// 0 selects the pool's queue depth; negative disables shedding.
 	ShedDepth int
+	// DebugFaults mounts the fault-injection control endpoint
+	// (GET/POST /debug/faults) on the serving mux. Off by default:
+	// unlike /debug/trace, the endpoint mutates process-global fault
+	// state, so an unauthenticated client could fail every store read
+	// and quarantine healthy objects with one request. Enable it only
+	// on chaos/debug deployments (apcc-serve arms it via -debug-faults,
+	// or implicitly when -faults is given).
+	DebugFaults bool
 	// Log receives the server's structured events (request debug lines,
 	// quarantines, eviction storms). nil discards everything.
 	Log *slog.Logger
@@ -321,7 +329,9 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /metrics/prom", s.handleMetricsProm)
 	mux.HandleFunc("GET /debug/trace", s.handleTrace)
-	mux.Handle("/debug/faults", faults.Handler())
+	if cfg.DebugFaults {
+		mux.Handle("/debug/faults", faults.Handler())
+	}
 	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	mux.HandleFunc("GET /v1/codecs", s.handleCodecs)
 	mux.HandleFunc("GET /v1/pack/{workload}", s.handlePackWorkload)
@@ -795,10 +805,12 @@ func (s *Server) serveWordRange(ctx context.Context, w http.ResponseWriter, r *h
 // appending the plain bytes to dst. It reports false — fall back to
 // the in-memory image — when there is no attached object, the
 // container predates v3 or its codec cannot decode groups, or the read
-// fails. Read errors other than ErrNoGroupIndex and any cross-check
-// mismatch detach and quarantine the object, exactly like a failed
-// block verify in blockFromStore: a store that cannot reproduce the
-// entry's bytes must not serve anyone again.
+// fails. Failed reads are triaged with the same errclass taxonomy the
+// block path uses: only corrupt bytes — and any cross-check mismatch —
+// detach and quarantine the object, because a store that cannot
+// reproduce the entry's bytes must not serve anyone again. A transient
+// hiccup, a dying context, or a benign miss (ErrNoGroupIndex) costs
+// this request the store path, never the entry its healthy object.
 func (s *Server) wordSpanFromStore(ctx context.Context, ent *entry, id, word, nwords int, dst []byte) ([]byte, bool) {
 	obj := ent.obj.Load()
 	if obj == nil || !obj.HasGroupIndex() {
@@ -810,7 +822,7 @@ func (s *Server) wordSpanFromStore(ctx context.Context, ent *entry, id, word, nw
 	var plain []byte
 	comp, plain, err := obj.ReadWordRangeCtx(ctx, ent.codec, id, word, nwords, comp[:0], dst)
 	if err != nil {
-		if !errors.Is(err, pack.ErrNoGroupIndex) {
+		if errclass.IsCorrupt(err) {
 			s.detachObject(obs.FromContext(ctx), ent, obj, id, "word range read", err)
 		}
 		return dst, false

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"apbcc/internal/faults"
 	"apbcc/internal/isa"
 	"apbcc/internal/pack"
 	"apbcc/internal/store"
@@ -210,6 +211,38 @@ func TestRunLoadWordReadScenario(t *testing.T) {
 	}
 	if spanStages == 0 {
 		t.Fatal("no word-read row carried the l2-word-read stage")
+	}
+}
+
+// TestWordReadTransientErrorNoQuarantine is the regression for the
+// word path's error triage: a transient store hiccup must cost the
+// request the store path (fall back to the in-memory image), never
+// the entry its healthy object — only corrupt bytes quarantine, the
+// same taxonomy the block path follows.
+func TestWordReadTransientErrorNoQuarantine(t *testing.T) {
+	resetFaults(t)
+	s, ts := newTestServerConfig(t, storeConfig(t.TempDir()))
+	if code, _, _ := get(t, ts.Client(), ts.URL+"/v1/pack/fft?codec=dict"); code != http.StatusOK {
+		t.Fatalf("pack: status %d", code)
+	}
+	s.persistWG.Wait()
+	if err := faults.Set("store.read-at:p=1,err,n=1"); err != nil {
+		t.Fatal(err)
+	}
+	code, _, hdr := get(t, ts.Client(), wordURL(ts.URL, "fft", 0, "dict", 0, 1))
+	if code != http.StatusOK {
+		t.Fatalf("word read under transient fault: status %d", code)
+	}
+	if got := hdr.Get(HeaderSource); got != "memory" {
+		t.Fatalf("source %q, want memory fallback", got)
+	}
+	if got := s.Store().Stats().Quarantined; got != 0 {
+		t.Fatalf("quarantined = %d, want 0 — transient is not corrupt", got)
+	}
+	// The object stayed attached: with the n=1 fault spent, the next
+	// word read goes through the store's group directory again.
+	if _, _, hdr = get(t, ts.Client(), wordURL(ts.URL, "fft", 0, "dict", 0, 1)); hdr.Get(HeaderSource) != "store" {
+		t.Fatalf("source after fault spent = %q, want store (object still attached)", hdr.Get(HeaderSource))
 	}
 }
 
